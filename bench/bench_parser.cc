@@ -1,0 +1,89 @@
+// Experiment Eparse: front-end throughput — lexing and parsing of
+// generated fact programs and of the paper's densest reference shapes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "parser/lexer.h"
+#include "store/fact.h"
+
+namespace pathlog {
+namespace {
+
+std::string ProgramText(int64_t employees) {
+  ObjectStore store;
+  GenerateCompany(&store, bench::ScaledCompany(employees));
+  return StoreToProgramText(store);
+}
+
+void BM_Parser_Tokenize(benchmark::State& state) {
+  std::string text = ProgramText(state.range(0));
+  for (auto _ : state) {
+    std::vector<Token> toks =
+        bench::CheckResult(Tokenize(text), "tokenize");
+    benchmark::DoNotOptimize(toks);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Parser_Tokenize)->Arg(100)->Arg(1000);
+
+void BM_Parser_ParseProgram(benchmark::State& state) {
+  std::string text = ProgramText(state.range(0));
+  size_t clauses = 0;
+  for (auto _ : state) {
+    Program p = bench::CheckResult(ParseProgram(text), "parse");
+    clauses = p.rules.size();
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+  state.counters["clauses"] = static_cast<double>(clauses);
+}
+BENCHMARK(BM_Parser_ParseProgram)->Arg(100)->Arg(1000);
+
+void BM_Parser_DenseReference(benchmark::State& state) {
+  // The flagship two-dimensional reference of section 2.
+  const std::string ref =
+      "X:employee[age->30; city->newYork]"
+      "..vehicles[Y]:automobile[cylinders->4]"
+      ".producedBy[city->detroit; president->X].color[Z]";
+  for (auto _ : state) {
+    RefPtr r = bench::CheckResult(ParseRef(ref), "parse ref");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Parser_DenseReference);
+
+void BM_Parser_GenericTcProgram(benchmark::State& state) {
+  const std::string prog = R"(
+    peter[kids->>{tim,mary}].
+    tim[kids->>{sally}].
+    mary[kids->>{tom,paul}].
+    X[(M.tc)->>{Y}] <- X[M->>{Y}].
+    X[(M.tc)->>{Y}] <- X..(M.tc)[M->>{Y}].
+    ?- peter[(kids.tc)->>{Z}].
+  )";
+  for (auto _ : state) {
+    Program p = bench::CheckResult(ParseProgram(prog), "parse");
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_Parser_GenericTcProgram);
+
+// End-to-end load: parse + intern + assert facts.
+void BM_Parser_DatabaseLoad(benchmark::State& state) {
+  std::string text = ProgramText(state.range(0));
+  for (auto _ : state) {
+    Database db;
+    bench::Check(db.Load(text), "load");
+    benchmark::DoNotOptimize(db.store().FactCount());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Parser_DatabaseLoad)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,149 @@
+// Experiment Estore: object-store substrate throughput — interning,
+// hierarchy closure maintenance, scalar/set method facts and lookups.
+
+#include <benchmark/benchmark.h>
+
+#include "base/strings.h"
+#include "bench_util.h"
+
+namespace pathlog {
+namespace {
+
+void BM_Store_InternSymbols(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ObjectStore store;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(store.InternSymbol(StrCat("sym", i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Store_InternSymbols)->Arg(10000)->Arg(100000);
+
+void BM_Store_InternHit(benchmark::State& state) {
+  ObjectStore store;
+  for (int64_t i = 0; i < 10000; ++i) store.InternSymbol(StrCat("sym", i));
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.InternSymbol(StrCat("sym", i % 10000)));
+    ++i;
+  }
+}
+BENCHMARK(BM_Store_InternHit);
+
+void BM_Store_IsaFlatClass(benchmark::State& state) {
+  // n members directly under one class: the common shape.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ObjectStore store;
+    Oid c = store.InternSymbol("c");
+    std::vector<Oid> members;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      members.push_back(store.InternSymbol(StrCat("o", i)));
+    }
+    state.ResumeTiming();
+    for (Oid o : members) {
+      bench::Check(store.AddIsa(o, c), "isa");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Store_IsaFlatClass)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Store_IsaDeepChain(benchmark::State& state) {
+  // A subclass chain of depth n: the closure-maintenance worst case.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ObjectStore store;
+    std::vector<Oid> classes;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      classes.push_back(store.InternSymbol(StrCat("c", i)));
+    }
+    state.ResumeTiming();
+    for (size_t i = 0; i + 1 < classes.size(); ++i) {
+      bench::Check(store.AddIsa(classes[i + 1], classes[i]), "isa");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Store_IsaDeepChain)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Store_ScalarInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ObjectStore store;
+    Oid m = store.InternSymbol("m");
+    std::vector<Oid> objs;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      objs.push_back(store.InternSymbol(StrCat("o", i)));
+    }
+    state.ResumeTiming();
+    for (size_t i = 0; i + 1 < objs.size(); ++i) {
+      bench::Check(store.SetScalar(m, objs[i], {}, objs[i + 1]), "set");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Store_ScalarInsert)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Store_ScalarLookup(benchmark::State& state) {
+  ObjectStore store;
+  Oid m = store.InternSymbol("m");
+  std::vector<Oid> objs;
+  for (int64_t i = 0; i < 100000; ++i) {
+    objs.push_back(store.InternSymbol(StrCat("o", i)));
+  }
+  for (size_t i = 0; i + 1 < objs.size(); ++i) {
+    bench::Check(store.SetScalar(m, objs[i], {}, objs[i + 1]), "set");
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.GetScalar(m, objs[i % 99999], {}));
+    ++i;
+  }
+}
+BENCHMARK(BM_Store_ScalarLookup);
+
+void BM_Store_SetMemberInsert(benchmark::State& state) {
+  // One receiver with a growing member set plus many small groups.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ObjectStore store;
+    Oid m = store.InternSymbol("m");
+    Oid hub = store.InternSymbol("hub");
+    std::vector<Oid> objs;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      objs.push_back(store.InternSymbol(StrCat("o", i)));
+    }
+    state.ResumeTiming();
+    for (Oid o : objs) {
+      benchmark::DoNotOptimize(store.AddSetMember(m, hub, {}, o));
+      benchmark::DoNotOptimize(store.AddSetMember(m, o, {}, hub));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_Store_SetMemberInsert)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Store_MembersScan(benchmark::State& state) {
+  ObjectStore store;
+  CompanyData data =
+      GenerateCompany(&store, bench::ScaledCompany(state.range(0)));
+  for (auto _ : state) {
+    size_t total = 0;
+    for (Oid o : store.Members(data.employee_class)) {
+      total += o;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Store_MembersScan)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,153 @@
+// Experiment E6.4/tc: transitive closure (`desc` and the generic
+// `kids.tc`).
+//
+// Ablations:
+//   Naive vs SemiNaiveRules   evaluation strategy (DESIGN.md ablation);
+//   Chain / Tree / RandomDag  closure density;
+//   Specialized vs Generic    the paper's desc rules vs the
+//                             higher-order-style (M.tc) rules.
+//
+// Expected shape: semi-naive (predicate-level change propagation)
+// never loses; the generic program pays a constant factor over the
+// specialised one for the same answers (method objects resolved per
+// derivation); chain graphs are the worst case (Theta(n^2) closure).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/kinship.h"
+
+namespace pathlog {
+namespace {
+
+constexpr const char* kDescRules = R"(
+  X[desc->>{Y}] <- X[kids->>{Y}].
+  X[desc->>{Y}] <- X..desc[kids->>{Y}].
+)";
+constexpr const char* kGenericTcRules = R"(
+  X[(M.tc)->>{Y}] <- X[M->>{Y}].
+  X[(M.tc)->>{Y}] <- X..(M.tc)[M->>{Y}].
+)";
+
+enum class Shape { kChain, kTree, kDag };
+
+void BuildGraph(ObjectStore* store, Shape shape, int64_t n) {
+  switch (shape) {
+    case Shape::kChain:
+      GenerateChain(store, static_cast<uint32_t>(n));
+      break;
+    case Shape::kTree:
+      GenerateTree(store, static_cast<uint32_t>(n), 3);
+      break;
+    case Shape::kDag:
+      GenerateRandomDag(store, static_cast<uint32_t>(n), 2.0, 99);
+      break;
+  }
+}
+
+void RunTc(benchmark::State& state, Shape shape, EvalStrategy strategy,
+           const char* rules) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    DatabaseOptions opts;
+    opts.engine.strategy = strategy;
+    Database db(opts);
+    BuildGraph(&db.store(), shape, state.range(0));
+    bench::Check(db.Load(rules), "load rules");
+    state.ResumeTiming();
+    bench::Check(db.Materialize(), "materialize");
+    benchmark::DoNotOptimize(db.engine_stats().derivations);
+    state.counters["derivations"] =
+        static_cast<double>(db.engine_stats().derivations);
+    state.counters["iterations"] =
+        static_cast<double>(db.engine_stats().iterations);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Tc_Chain_Naive(benchmark::State& state) {
+  RunTc(state, Shape::kChain, EvalStrategy::kNaive, kDescRules);
+}
+BENCHMARK(BM_Tc_Chain_Naive)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Chain_SemiNaive(benchmark::State& state) {
+  RunTc(state, Shape::kChain, EvalStrategy::kSemiNaiveRules, kDescRules);
+}
+BENCHMARK(BM_Tc_Chain_SemiNaive)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Chain_DeltaSemiNaive(benchmark::State& state) {
+  RunTc(state, Shape::kChain, EvalStrategy::kSemiNaiveDelta, kDescRules);
+}
+BENCHMARK(BM_Tc_Chain_DeltaSemiNaive)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Tree_Naive(benchmark::State& state) {
+  RunTc(state, Shape::kTree, EvalStrategy::kNaive, kDescRules);
+}
+BENCHMARK(BM_Tc_Tree_Naive)->Arg(200)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Tree_SemiNaive(benchmark::State& state) {
+  RunTc(state, Shape::kTree, EvalStrategy::kSemiNaiveRules, kDescRules);
+}
+BENCHMARK(BM_Tc_Tree_SemiNaive)->Arg(200)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Tree_DeltaSemiNaive(benchmark::State& state) {
+  RunTc(state, Shape::kTree, EvalStrategy::kSemiNaiveDelta, kDescRules);
+}
+BENCHMARK(BM_Tc_Tree_DeltaSemiNaive)->Arg(200)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Dag_Naive(benchmark::State& state) {
+  RunTc(state, Shape::kDag, EvalStrategy::kNaive, kDescRules);
+}
+BENCHMARK(BM_Tc_Dag_Naive)->Arg(100)->Arg(300)->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Dag_SemiNaive(benchmark::State& state) {
+  RunTc(state, Shape::kDag, EvalStrategy::kSemiNaiveRules, kDescRules);
+}
+BENCHMARK(BM_Tc_Dag_SemiNaive)->Arg(100)->Arg(300)->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Dag_DeltaSemiNaive(benchmark::State& state) {
+  RunTc(state, Shape::kDag, EvalStrategy::kSemiNaiveDelta, kDescRules);
+}
+BENCHMARK(BM_Tc_Dag_DeltaSemiNaive)->Arg(100)->Arg(300)->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Generic_Chain(benchmark::State& state) {
+  RunTc(state, Shape::kChain, EvalStrategy::kSemiNaiveRules, kGenericTcRules);
+}
+BENCHMARK(BM_Tc_Generic_Chain)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Generic_Tree(benchmark::State& state) {
+  RunTc(state, Shape::kTree, EvalStrategy::kSemiNaiveRules, kGenericTcRules);
+}
+BENCHMARK(BM_Tc_Generic_Tree)->Arg(200)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Querying the closure after materialisation: the paper's answer
+// lookup `peter..(kids.tc)` as a point query.
+void BM_Tc_ClosureLookup(benchmark::State& state) {
+  Database db;
+  BuildGraph(&db.store(), Shape::kTree, state.range(0));
+  bench::Check(db.Load(kDescRules), "load rules");
+  bench::Check(db.Materialize(), "materialize");
+  size_t n = 0;
+  for (auto _ : state) {
+    std::vector<Oid> descendants =
+        bench::CheckResult(db.Eval("t0..desc"), "eval");
+    n = descendants.size();
+    benchmark::DoNotOptimize(descendants);
+  }
+  state.counters["descendants"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Tc_ClosureLookup)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,133 @@
+// Experiments E2.4 / E6.1 / E6.2: virtual objects.
+//
+//   AddressViews      rule (2.4): one virtual address per person —
+//                     materialisation throughput as persons grow.
+//   VirtualBoss       rule (6.1): virtual objects created per employee.
+//   ExistingBoss      rule (6.2): the contrast rule that creates none.
+//   HeadValueModes    ablation: kRequireDefined skips street-less
+//                     persons; kSkolemize invents street objects too.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/people.h"
+
+namespace pathlog {
+namespace {
+
+constexpr const char* kAddressRule =
+    "X.address[street->X.street; city->X.city] <- X : person.";
+
+void BM_Virtual_AddressViews(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    PeopleConfig cfg;
+    cfg.num_persons = static_cast<uint32_t>(state.range(0));
+    GeneratePeople(&db.store(), cfg);
+    bench::Check(db.Load(kAddressRule), "load rule");
+    state.ResumeTiming();
+    bench::Check(db.Materialize(), "materialize");
+    benchmark::DoNotOptimize(db.engine_stats().skolems_created);
+    state.counters["virtual_objects"] =
+        static_cast<double>(db.engine_stats().skolems_created);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Virtual_AddressViews)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Virtual_Boss61(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    CompanyConfig cfg = bench::ScaledCompany(state.range(0));
+    GenerateCompany(&db.store(), cfg);
+    bench::Check(
+        db.Load("X.boss2[worksFor->D] <- X : employee[worksFor->D]."),
+        "load rule");
+    state.ResumeTiming();
+    bench::Check(db.Materialize(), "materialize");
+    state.counters["virtual_objects"] =
+        static_cast<double>(db.engine_stats().skolems_created);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Virtual_Boss61)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Virtual_ExistingBoss62(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    CompanyConfig cfg = bench::ScaledCompany(state.range(0));
+    GenerateCompany(&db.store(), cfg);
+    // Set-valued on purpose: a boss may have subordinates in several
+    // departments, and scalar methods are partial functions.
+    bench::Check(
+        db.Load(
+            "Z[depts->>{D}] <- X : employee[worksFor->D].boss[Z]."),
+        "load rule");
+    state.ResumeTiming();
+    bench::Check(db.Materialize(), "materialize");
+    state.counters["virtual_objects"] =
+        static_cast<double>(db.engine_stats().skolems_created);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Virtual_ExistingBoss62)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: head-value semantics on a population where only half the
+// persons have a street attribute.
+void RunHeadValueMode(benchmark::State& state, HeadValueMode mode) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    DatabaseOptions opts;
+    opts.engine.head_value_mode = mode;
+    Database db(opts);
+    PeopleConfig cfg;
+    cfg.num_persons = static_cast<uint32_t>(state.range(0));
+    cfg.has_street_fraction = 0.5;
+    GeneratePeople(&db.store(), cfg);
+    bench::Check(db.Load(kAddressRule), "load rule");
+    state.ResumeTiming();
+    bench::Check(db.Materialize(), "materialize");
+    state.counters["virtual_objects"] =
+        static_cast<double>(db.engine_stats().skolems_created);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Virtual_Mode_RequireDefined(benchmark::State& state) {
+  RunHeadValueMode(state, HeadValueMode::kRequireDefined);
+}
+BENCHMARK(BM_Virtual_Mode_RequireDefined)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Virtual_Mode_Skolemize(benchmark::State& state) {
+  RunHeadValueMode(state, HeadValueMode::kSkolemize);
+}
+BENCHMARK(BM_Virtual_Mode_Skolemize)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// Re-materialisation is idempotent: the second run derives nothing new
+// and must be much cheaper (the skolem cache is the store).
+void BM_Virtual_Rederivation(benchmark::State& state) {
+  Database db;
+  PeopleConfig cfg;
+  cfg.num_persons = static_cast<uint32_t>(state.range(0));
+  GeneratePeople(&db.store(), cfg);
+  bench::Check(db.Load(kAddressRule), "load rule");
+  bench::Check(db.Materialize(), "first materialize");
+  for (auto _ : state) {
+    bench::Check(db.Materialize(), "re-materialize");
+  }
+  state.counters["virtual_objects"] =
+      static_cast<double>(db.engine_stats().skolems_created);
+}
+BENCHMARK(BM_Virtual_Rederivation)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pathlog

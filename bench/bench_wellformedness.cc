@@ -1,0 +1,90 @@
+// Experiment E4.x: static analysis throughput — scalarity
+// (Definition 2) and well-formedness (Definition 3) over the paper's
+// reference inventory, plus rejection cost for ill-formed inputs.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/analysis.h"
+#include "bench_util.h"
+
+namespace pathlog {
+namespace {
+
+const char* const kWellFormedRefs[] = {
+    "p1.age",
+    "p1..assistants",
+    "p1..assistants[salary->1000]",
+    "p2[friends->>{p3,p4}]",
+    "p2[friends->>p1..assistants]",
+    "p1..assistants.salary",
+    "p1..assistants..projects",
+    "p1.paidFor@(p1..vehicles)",
+    "X:employee[age->30; city->newYork]"
+    "..vehicles[Y]:automobile[cylinders->4].color[Z]",
+    "X:manager..vehicles[color->red]"
+    ".producedBy[city->detroit; president->X]",
+};
+
+void BM_WellFormed_CheckInventory(benchmark::State& state) {
+  std::vector<RefPtr> refs;
+  for (const char* src : kWellFormedRefs) {
+    refs.push_back(bench::CheckResult(ParseRef(src), "parse"));
+  }
+  for (auto _ : state) {
+    for (const RefPtr& r : refs) {
+      bench::Check(CheckWellFormed(*r), "check");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(refs.size()));
+}
+BENCHMARK(BM_WellFormed_CheckInventory);
+
+void BM_WellFormed_Scalarity(benchmark::State& state) {
+  std::vector<RefPtr> refs;
+  for (const char* src : kWellFormedRefs) {
+    refs.push_back(bench::CheckResult(ParseRef(src), "parse"));
+  }
+  for (auto _ : state) {
+    int set_valued = 0;
+    for (const RefPtr& r : refs) {
+      set_valued += IsSetValued(*r) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(set_valued);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(refs.size()));
+}
+BENCHMARK(BM_WellFormed_Scalarity);
+
+void BM_WellFormed_RejectFormula45(benchmark::State& state) {
+  RefPtr bad =
+      bench::CheckResult(ParseRef("p2[boss->p1..assistants]"), "parse");
+  for (auto _ : state) {
+    Status st = CheckWellFormed(*bad);
+    if (st.code() != StatusCode::kIllFormed) {
+      fprintf(stderr, "FATAL: (4.5) must be ill-formed\n");
+      std::abort();
+    }
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_WellFormed_RejectFormula45);
+
+// Deeply nested reference: analysis must stay linear in size.
+void BM_WellFormed_DeepNesting(benchmark::State& state) {
+  std::string src = "x";
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    src += (i % 2 == 0) ? ".m[a->1]" : "..s[b->>{c,d}]";
+  }
+  RefPtr ref = bench::CheckResult(ParseRef(src), "parse");
+  for (auto _ : state) {
+    bench::Check(CheckWellFormed(*ref), "check");
+    benchmark::DoNotOptimize(IsSetValued(*ref));
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_WellFormed_DeepNesting)->Arg(10)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,99 @@
+// Fleet analytics at scale: the section-2 manager query over a
+// generated company database, evaluated three ways — PathLog's single
+// navigational reference, a set-at-a-time join plan, and a
+// tuple-at-a-time nested loop over the decomposed flat atoms — with
+// wall-clock timings, a miniature of bench/bench_manager.cc.
+//
+//   $ ./fleet_analytics [num_employees]   (default 5000)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/conjunctive.h"
+#include "baseline/translate.h"
+#include "pathlog/pathlog.h"
+#include "workload/company.h"
+
+namespace {
+
+void Check(const pathlog::Status& st, const char* what) {
+  if (!st.ok()) {
+    fprintf(stderr, "error in %s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t employees = 5000;
+  if (argc > 1) employees = static_cast<uint32_t>(std::atoi(argv[1]));
+
+  pathlog::Database db;
+  pathlog::CompanyConfig cfg;
+  cfg.num_employees = employees;
+  cfg.num_companies = std::max<uint32_t>(2, employees / 50);
+  pathlog::GenerateCompany(&db.store(), cfg);
+  pathlog::ObjectStore::Stats stats = db.store().ComputeStats();
+  printf("fleet database: %zu objects, %zu isa + %zu scalar + %zu set "
+         "facts\n\n",
+         stats.objects, stats.isa_facts, stats.scalar_facts, stats.set_facts);
+
+  const char* kSingleRef =
+      "?- X:manager..vehicles[color->red]"
+      ".producedBy[city->detroit; president->X].";
+  const char* kDecomposed =
+      "?- X:manager, X[vehicles->>{Y}], Y[color->red], Y[producedBy->P], "
+      "P[city->detroit], P[president->X].";
+
+  // 1. PathLog: one two-dimensional reference.
+  auto t0 = std::chrono::steady_clock::now();
+  pathlog::Result<pathlog::ResultSet> rs = db.Query(kSingleRef);
+  Check(rs.status(), "PathLog query");
+  size_t pathlog_answers = rs->Column("X", db.store()).size();
+  double pathlog_ms = MillisSince(t0);
+
+  // 2. Baselines over the decomposed flat atoms.
+  pathlog::Result<pathlog::Query> q = pathlog::ParseQuery(kDecomposed);
+  Check(q.status(), "parse");
+  pathlog::Result<pathlog::FlatQuery> fq =
+      pathlog::FlattenLiterals(q->body, &db.store());
+  Check(fq.status(), "flatten");
+  fq->select = {"X"};
+
+  t0 = std::chrono::steady_clock::now();
+  pathlog::Result<pathlog::Relation> join =
+      pathlog::EvalJoinPlan(db.store(), *fq);
+  Check(join.status(), "join plan");
+  double join_ms = MillisSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  pathlog::Result<pathlog::Relation> loop =
+      pathlog::EvalNestedLoop(db.store(), *fq);
+  Check(loop.status(), "nested loop");
+  double loop_ms = MillisSince(t0);
+
+  printf("managers with a red Detroit-built vehicle of a company they "
+         "preside over:\n");
+  printf("  %-34s %6zu answers  %9.3f ms\n", "PathLog (single reference)",
+         pathlog_answers, pathlog_ms);
+  printf("  %-34s %6zu answers  %9.3f ms\n", "baseline hash-join plan",
+         join->NumRows(), join_ms);
+  printf("  %-34s %6zu answers  %9.3f ms\n", "baseline nested loop",
+         loop->NumRows(), loop_ms);
+
+  if (pathlog_answers != join->NumRows() ||
+      pathlog_answers != loop->NumRows()) {
+    fprintf(stderr, "evaluators disagree!\n");
+    return 1;
+  }
+  printf("\nall three evaluators agree.\n");
+  return 0;
+}

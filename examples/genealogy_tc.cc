@@ -1,0 +1,95 @@
+// Transitive closure and generic methods (paper section 6): the
+// specialised `desc` rules, then the generic `tc` operator that closes
+// *any* set-valued method — methods are objects, so `kids.tc` is a
+// path denoting a derived method object.
+//
+//   $ ./genealogy_tc
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pathlog/pathlog.h"
+
+namespace {
+
+void Check(const pathlog::Status& st, const char* what) {
+  if (!st.ok()) {
+    fprintf(stderr, "error in %s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void PrintSet(pathlog::Database& db, const char* ref) {
+  pathlog::Result<std::vector<pathlog::Oid>> r = db.Eval(ref);
+  Check(r.status(), ref);
+  printf("   %-22s = {", ref);
+  bool first = true;
+  for (pathlog::Oid o : *r) {
+    printf("%s%s", first ? "" : ", ", db.DisplayName(o).c_str());
+    first = false;
+  }
+  printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  pathlog::Database db;
+
+  Check(db.Load(R"(
+    % the paper's family
+    peter[kids->>{tim,mary}].
+    tim[kids->>{sally}].
+    mary[kids->>{tom,paul}].
+
+    % and a second set-valued relation to showcase genericity
+    peter[mentors->>{ada}].
+    ada[mentors->>{grace}].
+
+    % specialised transitive closure (program 6.4)
+    X[desc->>{Y}] <- X[kids->>{Y}].
+    X[desc->>{Y}] <- X..desc[kids->>{Y}].
+
+    % generic transitive closure: M.tc names the closure of method M
+    X[(M.tc)->>{Y}] <- X[M->>{Y}].
+    X[(M.tc)->>{Y}] <- X..(M.tc)[M->>{Y}].
+  )"), "load");
+
+  Check(db.Materialize(), "materialize");
+  printf("materialized in %llu iteration(s), %llu derivation(s)\n\n",
+         static_cast<unsigned long long>(db.engine_stats().iterations),
+         static_cast<unsigned long long>(db.engine_stats().derivations));
+
+  printf("-- specialised desc\n");
+  PrintSet(db, "peter..desc");
+  PrintSet(db, "mary..desc");
+
+  printf("\n-- generic closure: kids.tc and mentors.tc\n");
+  PrintSet(db, "peter..(kids.tc)");
+  PrintSet(db, "peter..(mentors.tc)");
+
+  // The paper's exact claim:
+  pathlog::Result<bool> claim =
+      db.Holds("peter[(kids.tc)->>{tim,mary,sally,tom,paul}]");
+  Check(claim.status(), "holds");
+  printf("\npeter[(kids.tc)->>{tim,mary,sally,tom,paul}] holds? %s\n",
+         *claim ? "yes" : "no");
+
+  // desc and kids.tc agree on every person.
+  pathlog::Result<pathlog::ResultSet> people = db.Query("?- X[kids->>{Y}].");
+  Check(people.status(), "people");
+  for (const std::string& name : people->Column("X", db.store())) {
+    pathlog::Result<std::vector<pathlog::Oid>> a =
+        db.Eval(name + "..desc");
+    pathlog::Result<std::vector<pathlog::Oid>> b =
+        db.Eval(name + "..(kids.tc)");
+    Check(a.status(), "desc");
+    Check(b.status(), "kids.tc");
+    if (*a != *b) {
+      fprintf(stderr, "mismatch for %s\n", name.c_str());
+      return 1;
+    }
+  }
+  printf("specialised and generic closures agree on all persons.\n");
+  return 0;
+}

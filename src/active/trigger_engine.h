@@ -1,0 +1,87 @@
+// Active rules (event-condition-action), the production/active flavour
+// of paper sections 1 and 7: "the techniques we shall propose are
+// applicable for different kinds of rule languages, e.g. deductive,
+// production or active rules ... the way in which a set of rules is
+// being evaluated is an orthogonal issue."
+//
+// A trigger `head <~ event, conditions.` fires once per *new fact*
+// matching the event literal (the fact log is the event stream —
+// extensional and derived facts alike): the event literal is matched
+// delta-restricted to the facts of the current round, the condition
+// literals are evaluated against the current state, and the head is
+// asserted per solution. Actions append facts, which become events of
+// the next cascade round; firing runs to quiescence or the cascade
+// budget.
+//
+// Contrast with the deductive engine: no fixpoint re-evaluation (each
+// event is consumed exactly once), no stratification (conditions see
+// whatever state exists at firing time), and cascades may legitimately
+// loop — the budget turns runaways into kResourceExhausted.
+
+#ifndef PATHLOG_ACTIVE_TRIGGER_ENGINE_H_
+#define PATHLOG_ACTIVE_TRIGGER_ENGINE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/result.h"
+#include "eval/head_assert.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+struct TriggerOptions {
+  HeadValueMode head_value_mode = HeadValueMode::kRequireDefined;
+  /// A cascade round processes the facts appended by the previous one;
+  /// exceeding the budget aborts with kResourceExhausted.
+  uint64_t max_cascade_rounds = 10'000;
+  uint64_t max_facts = 20'000'000;
+};
+
+struct TriggerStats {
+  uint64_t rounds = 0;       ///< cascade rounds executed
+  uint64_t firings = 0;      ///< (event, condition-solution) matches
+  uint64_t facts_added = 0;  ///< store growth caused by Fire()
+};
+
+class TriggerEngine {
+ public:
+  /// Facts with generation >= `watermark` count as fresh events for
+  /// the first Fire() round (pass 0 to replay history).
+  TriggerEngine(ObjectStore* store, uint64_t watermark,
+                TriggerOptions options = {})
+      : store_(store), watermark_(watermark), options_(options) {}
+
+  /// Validates and installs a trigger. The event literal stays first;
+  /// condition literals are reordered for safety given the event's
+  /// variables.
+  Status AddTrigger(const TriggerRule& trigger);
+
+  /// Processes all pending events to quiescence.
+  Status Fire();
+
+  uint64_t watermark() const { return watermark_; }
+  const TriggerStats& stats() const { return stats_; }
+  size_t num_triggers() const { return planned_.size(); }
+
+ private:
+  struct PlannedTrigger {
+    Rule rule;  // body[0] = event, rest in safe evaluation order
+    std::set<std::string> head_vars;
+  };
+
+  Status RunRound(uint64_t from, HeadAsserter* asserter);
+
+  ObjectStore* store_;
+  uint64_t watermark_;
+  TriggerOptions options_;
+  std::vector<PlannedTrigger> planned_;
+  TriggerStats stats_;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_ACTIVE_TRIGGER_ENGINE_H_

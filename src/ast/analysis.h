@@ -1,0 +1,48 @@
+// Static analysis of references: scalarity (Definition 2),
+// well-formedness (Definition 3), simplicity, and variable collection.
+
+#ifndef PATHLOG_AST_ANALYSIS_H_
+#define PATHLOG_AST_ANALYSIS_H_
+
+#include <set>
+#include <string>
+
+#include "ast/ref.h"
+#include "base/status.h"
+
+namespace pathlog {
+
+/// True iff `t` is a *simple* reference (name, variable, or bracketed
+/// reference) — the only forms admitted at method and class positions
+/// by Definition 1.
+bool IsSimpleRef(const Ref& t);
+
+/// Definition 2: a reference is set-valued iff it is a `..` path; a `.`
+/// path one of whose sub-references (base, method, or argument) is
+/// set-valued; a molecule with set-valued base; or a bracketed
+/// set-valued reference. Otherwise it is scalar.
+bool IsSetValued(const Ref& t);
+
+/// Definition 3: checks that every sub-reference is well-formed and
+/// that molecules respect scalarity: scalar filters take scalar
+/// methods, arguments and results; `->>` filters take a set-valued
+/// reference or an explicit set of scalar references; classes are
+/// scalar. Paths are unrestricted ("well-formedness only restricts the
+/// usage of set valued references in molecules, but not in paths").
+/// Additionally enforces Definition 1's requirement that method and
+/// class positions hold simple references, which matters for
+/// programmatically built ASTs that bypassed the parser.
+Status CheckWellFormed(const Ref& t);
+
+/// Adds every variable occurring in `t` to `out`.
+void CollectVars(const Ref& t, std::set<std::string>* out);
+
+/// Convenience: the set of variables of `t`.
+std::set<std::string> VarsOf(const Ref& t);
+
+/// True iff `t` contains no variables.
+bool IsGround(const Ref& t);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_AST_ANALYSIS_H_

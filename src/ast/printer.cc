@@ -1,0 +1,190 @@
+#include "ast/printer.h"
+
+#include "ast/program.h"
+#include "base/strings.h"
+
+namespace pathlog {
+
+namespace {
+
+void PrintRef(const Ref& t, std::string* out);
+
+void PrintArgs(const std::vector<RefPtr>& args, std::string* out) {
+  if (args.empty()) return;
+  out->append("@(");
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out->append(",");
+    PrintRef(*args[i], out);
+  }
+  out->append(")");
+}
+
+void PrintFilterInner(const Filter& f, std::string* out) {
+  PrintRef(*f.method, out);
+  PrintArgs(f.args, out);
+  switch (f.kind) {
+    case FilterKind::kScalar:
+      out->append("->");
+      PrintRef(*f.value, out);
+      break;
+    case FilterKind::kSetRef:
+      out->append("->>");
+      PrintRef(*f.value, out);
+      break;
+    case FilterKind::kSetEnum:
+      out->append("->>{");
+      for (size_t i = 0; i < f.elems.size(); ++i) {
+        if (i > 0) out->append(",");
+        PrintRef(*f.elems[i], out);
+      }
+      out->append("}");
+      break;
+    case FilterKind::kClass:
+      break;  // not printed here
+  }
+}
+
+void PrintRef(const Ref& t, std::string* out) {
+  switch (t.kind) {
+    case RefKind::kName:
+      if (t.name_kind == NameKind::kString) {
+        out->append(StrCat("\"", t.text, "\""));
+      } else {
+        out->append(t.text);
+      }
+      return;
+    case RefKind::kVar:
+      out->append(t.text);
+      return;
+    case RefKind::kParen:
+      out->append("(");
+      PrintRef(*t.base, out);
+      out->append(")");
+      return;
+    case RefKind::kPath:
+      PrintRef(*t.base, out);
+      out->append(t.set_valued_path ? ".." : ".");
+      PrintRef(*t.method, out);
+      PrintArgs(t.args, out);
+      return;
+    case RefKind::kMolecule: {
+      PrintRef(*t.base, out);
+      // Runs of non-class filters are grouped into one bracket; class
+      // filters print as `:class`.
+      size_t i = 0;
+      while (i < t.filters.size()) {
+        if (t.filters[i].kind == FilterKind::kClass) {
+          out->append(":");
+          PrintRef(*t.filters[i].value, out);
+          ++i;
+          continue;
+        }
+        out->append("[");
+        bool first = true;
+        while (i < t.filters.size() &&
+               t.filters[i].kind != FilterKind::kClass) {
+          if (!first) out->append("; ");
+          first = false;
+          PrintFilterInner(t.filters[i], out);
+          ++i;
+        }
+        out->append("]");
+      }
+      if (t.filters.empty()) out->append("[]");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToString(const Ref& t) {
+  std::string out;
+  PrintRef(t, &out);
+  return out;
+}
+
+std::string ToString(const Filter& f) {
+  std::string out;
+  if (f.kind == FilterKind::kClass) {
+    out.append(":");
+    PrintRef(*f.value, &out);
+  } else {
+    out.append("[");
+    PrintFilterInner(f, &out);
+    out.append("]");
+  }
+  return out;
+}
+
+std::string ToString(const Literal& lit) {
+  std::string out;
+  if (lit.negated) out.append("not ");
+  PrintRef(*lit.ref, &out);
+  return out;
+}
+
+std::string ToString(const Rule& rule) {
+  std::string out = ToString(*rule.head);
+  if (!rule.body.empty()) {
+    out.append(" <- ");
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) out.append(", ");
+      out.append(ToString(rule.body[i]));
+    }
+  }
+  out.append(".");
+  return out;
+}
+
+std::string ToString(const TriggerRule& trigger) {
+  std::string out = ToString(*trigger.rule.head);
+  out.append(" <~ ");
+  for (size_t i = 0; i < trigger.rule.body.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(ToString(trigger.rule.body[i]));
+  }
+  out.append(".");
+  return out;
+}
+
+std::string ToString(const Query& query) {
+  std::string out = "?- ";
+  for (size_t i = 0; i < query.body.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(ToString(query.body[i]));
+  }
+  out.append(".");
+  return out;
+}
+
+std::string ToString(const SignatureDecl& sig) {
+  std::string out = ToString(*sig.klass);
+  out.append("[");
+  out.append(ToString(*sig.method));
+  if (!sig.arg_types.empty()) {
+    out.append("@(");
+    for (size_t i = 0; i < sig.arg_types.size(); ++i) {
+      if (i > 0) out.append(",");
+      out.append(ToString(*sig.arg_types[i]));
+    }
+    out.append(")");
+  }
+  out.append(sig.set_valued ? " =>> " : " => ");
+  out.append(ToString(*sig.result_type));
+  out.append("].");
+  return out;
+}
+
+std::string ToString(const Program& program) {
+  std::vector<std::string> parts;
+  for (const SignatureDecl& s : program.signatures) {
+    parts.push_back(ToString(s));
+  }
+  for (const Rule& r : program.rules) parts.push_back(ToString(r));
+  for (const TriggerRule& t : program.triggers) parts.push_back(ToString(t));
+  for (const Query& q : program.queries) parts.push_back(ToString(q));
+  return StrJoin(parts, "\n");
+}
+
+}  // namespace pathlog

@@ -1,0 +1,33 @@
+// Rendering references, literals, rules and programs back into PathLog
+// surface syntax. The printer round-trips with the parser: for every
+// parsed clause c, Parse(ToString(c)) yields a structurally equal
+// clause (property-tested in tests/printer_test.cc).
+
+#ifndef PATHLOG_AST_PRINTER_H_
+#define PATHLOG_AST_PRINTER_H_
+
+#include <string>
+
+#include "ast/ref.h"
+
+namespace pathlog {
+
+struct Literal;
+struct Rule;
+struct TriggerRule;
+struct Query;
+struct SignatureDecl;
+struct Program;
+
+std::string ToString(const Ref& t);
+std::string ToString(const Filter& f);
+std::string ToString(const Literal& lit);
+std::string ToString(const Rule& rule);
+std::string ToString(const TriggerRule& trigger);
+std::string ToString(const Query& query);
+std::string ToString(const SignatureDecl& sig);
+std::string ToString(const Program& program);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_AST_PRINTER_H_

@@ -1,0 +1,48 @@
+#include "ast/program.h"
+
+#include "ast/analysis.h"
+#include "ast/printer.h"
+#include "base/strings.h"
+
+namespace pathlog {
+
+Status CheckRuleWellFormed(const Rule& rule) {
+  if (!rule.head) return IllFormed("rule has no head");
+  PATHLOG_RETURN_IF_ERROR(CheckWellFormed(*rule.head));
+  if (IsSetValued(*rule.head)) {
+    return IllFormed(StrCat(
+        "set-valued reference cannot be a rule head (its denotation is "
+        "not uniquely determined, paper section 6): ",
+        ToString(*rule.head)));
+  }
+  // A bare name or variable head asserts nothing.
+  const Ref* h = rule.head.get();
+  while (h->kind == RefKind::kParen) h = h->base.get();
+  if (h->kind == RefKind::kName || h->kind == RefKind::kVar) {
+    return IllFormed(StrCat("rule head must be a path or molecule, got: ",
+                            ToString(*rule.head)));
+  }
+  for (const Literal& lit : rule.body) {
+    if (!lit.ref) return IllFormed("rule body contains an empty literal");
+    PATHLOG_RETURN_IF_ERROR(CheckWellFormed(*lit.ref));
+  }
+  if (rule.IsFact() && !IsGround(*rule.head)) {
+    return IllFormed(StrCat("fact must be ground: ", ToString(*rule.head)));
+  }
+  return Status::OK();
+}
+
+Status CheckTriggerWellFormed(const TriggerRule& trigger) {
+  PATHLOG_RETURN_IF_ERROR(CheckRuleWellFormed(trigger.rule));
+  if (trigger.rule.body.empty()) {
+    return IllFormed("a trigger needs an event literal (head <~ event, ...)");
+  }
+  if (trigger.rule.body.front().negated) {
+    return IllFormed(
+        "the event literal of a trigger must be positive (facts are "
+        "monotone; there is no deletion event)");
+  }
+  return Status::OK();
+}
+
+}  // namespace pathlog

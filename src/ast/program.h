@@ -1,0 +1,82 @@
+// Clauses: literals, rules (facts are rules with empty bodies),
+// queries, and signature declarations; a Program aggregates them.
+
+#ifndef PATHLOG_AST_PROGRAM_H_
+#define PATHLOG_AST_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ref.h"
+#include "base/status.h"
+
+namespace pathlog {
+
+/// A body element: a reference used as a formula, possibly negated.
+/// Negation-as-failure is an extension beyond the paper (the paper
+/// only needs stratification for set-valued references in bodies); it
+/// is evaluated under the same stratification machinery.
+struct Literal {
+  RefPtr ref;
+  bool negated = false;
+};
+
+/// `head <- body.` — with an empty body, a fact. The head must be a
+/// scalar reference (paper section 6: "the usage of set valued
+/// references in rule heads should be forbidden").
+struct Rule {
+  RefPtr head;
+  std::vector<Literal> body;
+
+  bool IsFact() const { return body.empty(); }
+};
+
+/// `?- body.` — a conjunctive query; answers are bindings of the body's
+/// variables (all of them, in name order).
+struct Query {
+  std::vector<Literal> body;
+};
+
+/// A method signature: `class[m @(argtypes) => result]` (scalar) or
+/// `=>> result` (set-valued). Used by the type checker (section 2:
+/// "the usage of methods can be controlled by signatures ... which
+/// makes type checking techniques applicable").
+struct SignatureDecl {
+  RefPtr klass;    ///< receiver class (simple reference, ground)
+  RefPtr method;   ///< method name (simple reference, ground)
+  std::vector<RefPtr> arg_types;
+  RefPtr result_type;
+  bool set_valued = false;
+};
+
+/// `head <~ event, conditions.` — an active (event-condition-action)
+/// rule, the production/active flavour the paper's sections 1 and 7
+/// claim the reference machinery supports. The first body literal is
+/// the *event*: the trigger fires once per new fact matching it, the
+/// remaining literals are the condition checked against the current
+/// state, and the head is asserted per solution.
+struct TriggerRule {
+  Rule rule;  ///< body[0] is the event literal (never negated)
+};
+
+/// A parsed unit of PathLog text: rules and facts in order, plus
+/// queries, triggers and signature declarations.
+struct Program {
+  std::vector<Rule> rules;
+  std::vector<TriggerRule> triggers;
+  std::vector<Query> queries;
+  std::vector<SignatureDecl> signatures;
+};
+
+/// Well-formedness of a trigger: the underlying rule checks apply, the
+/// body must be non-empty, and the event literal must be positive.
+Status CheckTriggerWellFormed(const TriggerRule& trigger);
+
+/// Structural well-formedness of a whole rule: head and body references
+/// satisfy Definition 3, and the head is a scalar, non-trivial
+/// reference (not a lone name or variable).
+Status CheckRuleWellFormed(const Rule& rule);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_AST_PROGRAM_H_

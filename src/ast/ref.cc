@@ -1,0 +1,163 @@
+#include "ast/ref.h"
+
+namespace pathlog {
+
+namespace {
+std::shared_ptr<Ref> NewRef(RefKind kind) {
+  auto r = std::make_shared<Ref>();
+  r->kind = kind;
+  return r;
+}
+}  // namespace
+
+RefPtr Ref::Name(std::string_view symbol) {
+  auto r = NewRef(RefKind::kName);
+  r->name_kind = NameKind::kSymbol;
+  r->text = std::string(symbol);
+  return r;
+}
+
+RefPtr Ref::Int(int64_t value) {
+  auto r = NewRef(RefKind::kName);
+  r->name_kind = NameKind::kInt;
+  r->text = std::to_string(value);
+  r->int_value = value;
+  return r;
+}
+
+RefPtr Ref::Str(std::string_view value) {
+  auto r = NewRef(RefKind::kName);
+  r->name_kind = NameKind::kString;
+  r->text = std::string(value);
+  return r;
+}
+
+RefPtr Ref::Var(std::string_view name) {
+  auto r = NewRef(RefKind::kVar);
+  r->text = std::string(name);
+  return r;
+}
+
+RefPtr Ref::Paren(RefPtr inner) {
+  auto r = NewRef(RefKind::kParen);
+  r->base = std::move(inner);
+  return r;
+}
+
+RefPtr Ref::ScalarPath(RefPtr base, RefPtr method, std::vector<RefPtr> args) {
+  auto r = NewRef(RefKind::kPath);
+  r->base = std::move(base);
+  r->method = std::move(method);
+  r->args = std::move(args);
+  r->set_valued_path = false;
+  return r;
+}
+
+RefPtr Ref::SetPath(RefPtr base, RefPtr method, std::vector<RefPtr> args) {
+  auto r = NewRef(RefKind::kPath);
+  r->base = std::move(base);
+  r->method = std::move(method);
+  r->args = std::move(args);
+  r->set_valued_path = true;
+  return r;
+}
+
+RefPtr Ref::Molecule(RefPtr base, std::vector<Filter> filters) {
+  auto r = NewRef(RefKind::kMolecule);
+  r->base = std::move(base);
+  r->filters = std::move(filters);
+  return r;
+}
+
+Filter Ref::ScalarFilter(RefPtr method, RefPtr result,
+                         std::vector<RefPtr> args) {
+  Filter f;
+  f.kind = FilterKind::kScalar;
+  f.method = std::move(method);
+  f.value = std::move(result);
+  f.args = std::move(args);
+  return f;
+}
+
+Filter Ref::SetRefFilter(RefPtr method, RefPtr result,
+                         std::vector<RefPtr> args) {
+  Filter f;
+  f.kind = FilterKind::kSetRef;
+  f.method = std::move(method);
+  f.value = std::move(result);
+  f.args = std::move(args);
+  return f;
+}
+
+Filter Ref::SetEnumFilter(RefPtr method, std::vector<RefPtr> elems,
+                          std::vector<RefPtr> args) {
+  Filter f;
+  f.kind = FilterKind::kSetEnum;
+  f.method = std::move(method);
+  f.elems = std::move(elems);
+  f.args = std::move(args);
+  return f;
+}
+
+Filter Ref::ClassFilter(RefPtr klass) {
+  Filter f;
+  f.kind = FilterKind::kClass;
+  f.value = std::move(klass);
+  return f;
+}
+
+namespace {
+bool RefPtrEquals(const RefPtr& a, const RefPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  return RefEquals(*a, *b);
+}
+
+bool RefListEquals(const std::vector<RefPtr>& a, const std::vector<RefPtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!RefPtrEquals(a[i], b[i])) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool FilterEquals(const Filter& a, const Filter& b) {
+  if (a.kind != b.kind) return false;
+  if (!RefPtrEquals(a.method, b.method)) return false;
+  if (!RefPtrEquals(a.value, b.value)) return false;
+  if (!RefListEquals(a.args, b.args)) return false;
+  if (a.elems.size() != b.elems.size()) return false;
+  for (size_t i = 0; i < a.elems.size(); ++i) {
+    if (!RefPtrEquals(a.elems[i], b.elems[i])) return false;
+  }
+  return true;
+}
+
+bool RefEquals(const Ref& a, const Ref& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case RefKind::kName:
+      return a.name_kind == b.name_kind && a.text == b.text &&
+             a.int_value == b.int_value;
+    case RefKind::kVar:
+      return a.text == b.text;
+    case RefKind::kParen:
+      return RefPtrEquals(a.base, b.base);
+    case RefKind::kPath:
+      return a.set_valued_path == b.set_valued_path &&
+             RefPtrEquals(a.base, b.base) && RefPtrEquals(a.method, b.method) &&
+             RefListEquals(a.args, b.args);
+    case RefKind::kMolecule: {
+      if (!RefPtrEquals(a.base, b.base)) return false;
+      if (a.filters.size() != b.filters.size()) return false;
+      for (size_t i = 0; i < a.filters.size(); ++i) {
+        if (!FilterEquals(a.filters[i], b.filters[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pathlog

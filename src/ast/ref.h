@@ -1,0 +1,127 @@
+// Abstract syntax of PathLog references (paper, Definition 1).
+//
+// References are the single syntactic category from which everything
+// else is built: names and variables are simple references; a *path*
+// applies a (scalar `.` or set-valued `..`) method to a reference; a
+// *molecule* attaches filters (`[m->t]`, `[m->>t]`, `[m->>{..}]`) or a
+// class membership (`: c`) to a reference. Paths and molecules nest
+// mutually without restriction.
+//
+// Deviating from the letter of Definition 1 only in representation, a
+// molecule node carries a *list* of filters: the paper itself declares
+// `t[f1][f2]` and `t[f1; f2]` to be the same molecule.
+
+#ifndef PATHLOG_AST_REF_H_
+#define PATHLOG_AST_REF_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pathlog {
+
+struct Ref;
+/// References are immutable and shared; sub-references are never
+/// mutated after construction.
+using RefPtr = std::shared_ptr<const Ref>;
+
+enum class RefKind : uint8_t {
+  /// A name n in N: symbol, integer, or string.
+  kName,
+  /// A variable X in V.
+  kVar,
+  /// A bracketed reference `(t)`, which resets evaluation grouping and
+  /// turns any reference into a *simple* one (usable at method/class
+  /// position, cf. `L : (integer.list)` and the generic `(M.tc)`).
+  kParen,
+  /// A path `t0.m@(t1..tk)` or `t0..m@(t1..tk)`.
+  kPath,
+  /// A molecule: `t0` followed by one or more filters.
+  kMolecule,
+};
+
+enum class NameKind : uint8_t { kSymbol, kInt, kString };
+
+enum class FilterKind : uint8_t {
+  /// `[m@(args)->t_r]` — scalar method result.
+  kScalar,
+  /// `[m@(args)->>t_r]` — the objects denoted by the set-valued
+  /// reference t_r are among the method's results.
+  kSetRef,
+  /// `[m@(args)->>{t'_1..t'_l}]` — the listed scalar references are
+  /// among the method's results.
+  kSetEnum,
+  /// `: c` — class membership.
+  kClass,
+};
+
+/// One element of a molecule's filter list.
+struct Filter {
+  FilterKind kind;
+  /// The method; must be a simple reference (Definition 1). Null for
+  /// kClass filters.
+  RefPtr method;
+  /// Arguments t_1..t_k (empty when called without `@(...)`).
+  std::vector<RefPtr> args;
+  /// kScalar: the scalar result reference.
+  /// kSetRef: the set-valued result reference.
+  /// kClass:  the class (a simple reference).
+  RefPtr value;
+  /// kSetEnum: the enumerated scalar references.
+  std::vector<RefPtr> elems;
+};
+
+/// A PathLog reference. Construct via the static factories; fields not
+/// applicable to `kind` stay empty.
+struct Ref {
+  RefKind kind;
+
+  // kName / kVar
+  NameKind name_kind = NameKind::kSymbol;
+  std::string text;       ///< symbol text, variable name, string value
+  int64_t int_value = 0;  ///< kName with name_kind == kInt
+
+  // kParen: base.  kPath: base, method, args.  kMolecule: base, filters.
+  RefPtr base;
+  RefPtr method;  ///< simple reference
+  bool set_valued_path = false;  ///< `..` vs `.`
+  std::vector<RefPtr> args;
+  std::vector<Filter> filters;
+
+  // ---- factories ----------------------------------------------------
+  static RefPtr Name(std::string_view symbol);
+  static RefPtr Int(int64_t value);
+  static RefPtr Str(std::string_view value);
+  static RefPtr Var(std::string_view name);
+  static RefPtr Paren(RefPtr inner);
+  static RefPtr ScalarPath(RefPtr base, RefPtr method,
+                           std::vector<RefPtr> args = {});
+  static RefPtr SetPath(RefPtr base, RefPtr method,
+                        std::vector<RefPtr> args = {});
+  static RefPtr Molecule(RefPtr base, std::vector<Filter> filters);
+
+  // ---- filter factories ----------------------------------------------
+  static Filter ScalarFilter(RefPtr method, RefPtr result,
+                             std::vector<RefPtr> args = {});
+  static Filter SetRefFilter(RefPtr method, RefPtr result,
+                             std::vector<RefPtr> args = {});
+  static Filter SetEnumFilter(RefPtr method, std::vector<RefPtr> elems,
+                              std::vector<RefPtr> args = {});
+  static Filter ClassFilter(RefPtr klass);
+};
+
+/// The built-in scalar method `self`: for every object u,
+/// I_->(self)(u) = u. The XSQL-style selector `[X]` is sugar for
+/// `[self->X]` (paper section 4.1).
+inline constexpr std::string_view kSelfMethodName = "self";
+
+/// Structural equality of references (names by value, variables by
+/// name).
+bool RefEquals(const Ref& a, const Ref& b);
+bool FilterEquals(const Filter& a, const Filter& b);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_AST_REF_H_

@@ -1,0 +1,81 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef PATHLOG_BASE_RESULT_H_
+#define PATHLOG_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace pathlog {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<Program> p = Parse(text);
+///   if (!p.ok()) return p.status();
+///   Use(*p);
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Passing an OK status is a
+  /// programming error and is normalised to kInternal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or a fallback if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates the error of a Result expression, else assigns its value.
+#define PATHLOG_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto PATHLOG_CONCAT_(_res, __LINE__) = (expr); \
+  if (!PATHLOG_CONCAT_(_res, __LINE__).ok())     \
+    return PATHLOG_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(PATHLOG_CONCAT_(_res, __LINE__)).value()
+
+#define PATHLOG_CONCAT_(a, b) PATHLOG_CONCAT_IMPL_(a, b)
+#define PATHLOG_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_BASE_RESULT_H_

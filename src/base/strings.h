@@ -1,0 +1,53 @@
+// Small string helpers used across the library (no std::format on the
+// reference toolchain, so we provide StrCat-style concatenation).
+
+#ifndef PATHLOG_BASE_STRINGS_H_
+#define PATHLOG_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pathlog {
+
+namespace internal {
+inline void StrAppendOne(std::ostringstream& os, const std::string& v) {
+  os << v;
+}
+inline void StrAppendOne(std::ostringstream& os, std::string_view v) {
+  os << v;
+}
+inline void StrAppendOne(std::ostringstream& os, const char* v) { os << v; }
+inline void StrAppendOne(std::ostringstream& os, char v) { os << v; }
+inline void StrAppendOne(std::ostringstream& os, bool v) {
+  os << (v ? "true" : "false");
+}
+template <typename T>
+inline void StrAppendOne(std::ostringstream& os, const T& v) {
+  os << v;
+}
+}  // namespace internal
+
+/// Concatenates the string forms of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (internal::StrAppendOne(os, args), ...);
+  return os.str();
+}
+
+/// Joins the elements of `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if every character of `s` is an ASCII digit (and s not empty).
+bool IsAllDigits(std::string_view s);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_BASE_STRINGS_H_

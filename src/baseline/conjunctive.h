@@ -1,0 +1,72 @@
+// Flat conjunctive queries: the decomposition target of path
+// expressions in one-dimensional languages.
+//
+// Example — the paper's query (1.4): "colors of the 4-cylinder
+// automobiles of employees" must be broken into pieces:
+//
+//   member(X, employee), setmember(vehicles, X, Y),
+//   member(Y, automobile), scalar(cylinders, Y, 4),
+//   scalar(color, Y, Z)                                 select Z
+//
+// Two evaluators reproduce the two classic execution models:
+//   EvalJoinPlan   — set-at-a-time: scan each atom into a relation and
+//                    hash-join left-deep (O2SQL/relational style);
+//   EvalNestedLoop — tuple-at-a-time backtracking using the store's
+//                    receiver indexes (XSQL/navigational style, but
+//                    still over decomposed atoms).
+
+#ifndef PATHLOG_BASELINE_CONJUNCTIVE_H_
+#define PATHLOG_BASELINE_CONJUNCTIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "baseline/relation.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+/// A variable or a constant in a flat atom.
+struct BTerm {
+  bool is_var = false;
+  std::string var;
+  Oid constant = kNilOid;
+
+  static BTerm Var(std::string name) {
+    BTerm t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static BTerm Const(Oid o) {
+    BTerm t;
+    t.constant = o;
+    return t;
+  }
+};
+
+struct BAtom {
+  enum class Kind {
+    kMember,     ///< recv <=_U class (method_or_class is the class)
+    kScalar,     ///< method(recv) = value
+    kSetMember,  ///< value in method(recv)
+    kEq,         ///< recv == value
+  };
+  Kind kind;
+  Oid method_or_class = kNilOid;
+  BTerm recv;
+  BTerm value;  // unused for kMember
+};
+
+struct FlatQuery {
+  std::vector<BAtom> atoms;
+  std::vector<std::string> select;
+};
+
+Result<Relation> EvalJoinPlan(const ObjectStore& store, const FlatQuery& q);
+Result<Relation> EvalNestedLoop(const ObjectStore& store, const FlatQuery& q);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_BASELINE_CONJUNCTIVE_H_

@@ -1,0 +1,116 @@
+#include "baseline/operators.h"
+
+#include <unordered_map>
+
+namespace pathlog {
+
+Relation ScanClass(const ObjectStore& store, Oid klass, std::string col) {
+  Relation rel({std::move(col)});
+  for (Oid o : store.Members(klass)) {
+    rel.AddRow({o});
+  }
+  return rel;
+}
+
+Relation ScanScalar(const ObjectStore& store, Oid method,
+                    std::string recv_col, std::string value_col) {
+  Relation rel({std::move(recv_col), std::move(value_col)});
+  for (const ScalarEntry& e : store.ScalarEntries(method)) {
+    if (!e.args.empty()) continue;
+    rel.AddRow({e.recv, e.value});
+  }
+  return rel;
+}
+
+Relation ScanSet(const ObjectStore& store, Oid method, std::string recv_col,
+                 std::string member_col) {
+  Relation rel({std::move(recv_col), std::move(member_col)});
+  for (const SetGroup& g : store.SetGroups(method)) {
+    if (!g.args.empty()) continue;
+    for (Oid m : g.members) {
+      rel.AddRow({g.recv, m});
+    }
+  }
+  return rel;
+}
+
+Relation Select(const Relation& rel, const std::string& col, Oid value) {
+  Relation out(rel.columns());
+  std::optional<size_t> idx = rel.ColumnIndex(col);
+  if (!idx) return out;
+  for (const std::vector<Oid>& row : rel.rows()) {
+    if (row[*idx] == value) out.AddRow(row);
+  }
+  return out;
+}
+
+Relation HashJoin(const Relation& left, const Relation& right) {
+  // Shared columns and the right-only columns.
+  std::vector<std::pair<size_t, size_t>> key_cols;  // (left idx, right idx)
+  std::vector<size_t> right_only;
+  for (size_t j = 0; j < right.NumCols(); ++j) {
+    if (std::optional<size_t> li = left.ColumnIndex(right.columns()[j])) {
+      key_cols.push_back({*li, j});
+    } else {
+      right_only.push_back(j);
+    }
+  }
+  std::vector<std::string> out_cols = left.columns();
+  for (size_t j : right_only) out_cols.push_back(right.columns()[j]);
+  Relation out(std::move(out_cols));
+
+  // Build on the smaller side conceptually; for clarity build on right.
+  std::unordered_map<size_t, std::vector<const std::vector<Oid>*>> table;
+  auto key_of_right = [&](const std::vector<Oid>& row) {
+    size_t h = 1469598103934665603ull;
+    for (auto [li, rj] : key_cols) h = HashCombine(h, row[rj]);
+    return h;
+  };
+  auto key_of_left = [&](const std::vector<Oid>& row) {
+    size_t h = 1469598103934665603ull;
+    for (auto [li, rj] : key_cols) h = HashCombine(h, row[li]);
+    return h;
+  };
+  for (const std::vector<Oid>& row : right.rows()) {
+    table[key_of_right(row)].push_back(&row);
+  }
+  for (const std::vector<Oid>& lrow : left.rows()) {
+    auto it = table.find(key_of_left(lrow));
+    if (it == table.end()) continue;
+    for (const std::vector<Oid>* rrow : it->second) {
+      bool match = true;
+      for (auto [li, rj] : key_cols) {
+        if (lrow[li] != (*rrow)[rj]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<Oid> out_row = lrow;
+      for (size_t j : right_only) out_row.push_back((*rrow)[j]);
+      out.AddRow(std::move(out_row));
+    }
+  }
+  return out;
+}
+
+Relation Project(const Relation& rel, const std::vector<std::string>& cols) {
+  Relation out(cols);
+  std::vector<size_t> idxs;
+  idxs.reserve(cols.size());
+  for (const std::string& c : cols) {
+    std::optional<size_t> i = rel.ColumnIndex(c);
+    if (!i) return out;  // unknown column: empty result
+    idxs.push_back(*i);
+  }
+  for (const std::vector<Oid>& row : rel.rows()) {
+    std::vector<Oid> out_row;
+    out_row.reserve(idxs.size());
+    for (size_t i : idxs) out_row.push_back(row[i]);
+    out.AddRow(std::move(out_row));
+  }
+  out.Dedup();
+  return out;
+}
+
+}  // namespace pathlog

@@ -1,0 +1,39 @@
+// Relational operators over the object store: the "flat relations"
+// execution model the paper contrasts PathLog with. Scans expose the
+// store as binary relations; joins are hash joins; selection and
+// projection are the usual set-at-a-time operators.
+
+#ifndef PATHLOG_BASELINE_OPERATORS_H_
+#define PATHLOG_BASELINE_OPERATORS_H_
+
+#include <string>
+
+#include "baseline/relation.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+/// member(x, c): one column `col` listing the extent of class `c`.
+Relation ScanClass(const ObjectStore& store, Oid klass, std::string col);
+
+/// m(recv) = value as a binary relation (argumentless invocations only).
+Relation ScanScalar(const ObjectStore& store, Oid method,
+                    std::string recv_col, std::string value_col);
+
+/// value in m(recv) as a binary relation (argumentless invocations).
+Relation ScanSet(const ObjectStore& store, Oid method, std::string recv_col,
+                 std::string member_col);
+
+/// sigma_{col = value}(rel).
+Relation Select(const Relation& rel, const std::string& col, Oid value);
+
+/// Natural hash join on all shared column names (cross product when
+/// none are shared). Column order: left columns, then right-only.
+Relation HashJoin(const Relation& left, const Relation& right);
+
+/// pi_{cols}(rel), deduplicated.
+Relation Project(const Relation& rel, const std::vector<std::string>& cols);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_BASELINE_OPERATORS_H_

@@ -1,0 +1,41 @@
+#include "baseline/relation.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+std::optional<size_t> Relation::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Relation::Dedup() {
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+std::string Relation::ToString(const ObjectStore& store,
+                               size_t max_rows) const {
+  std::string out = StrJoin(columns_, " | ");
+  out += "\n";
+  size_t shown = 0;
+  for (const std::vector<Oid>& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += StrCat("... (", rows_.size() - max_rows, " more rows)\n");
+      break;
+    }
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (Oid o : row) cells.push_back(store.DisplayName(o));
+    out += StrJoin(cells, " | ");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pathlog

@@ -1,0 +1,51 @@
+// A minimal column-named relation for the baseline evaluators.
+//
+// The paper's comparison targets (GEM, O2SQL, XSQL, ESQL) evaluate path
+// expressions by *decomposing* them into explicit joins over flat
+// relations — "we have to break one path into two and in general, into
+// many pieces". The baseline module reproduces that execution model so
+// benchmarks can compare it against PathLog's navigational evaluation.
+
+#ifndef PATHLOG_BASELINE_RELATION_H_
+#define PATHLOG_BASELINE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "store/oid.h"
+
+namespace pathlog {
+
+class ObjectStore;
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<Oid>>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumCols() const { return columns_.size(); }
+
+  /// Index of a column by name, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  void AddRow(std::vector<Oid> row) { rows_.push_back(std::move(row)); }
+
+  /// Sorts rows and removes duplicates (set semantics).
+  void Dedup();
+
+  /// Renders a bounded ASCII table using the store's display names.
+  std::string ToString(const ObjectStore& store, size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Oid>> rows_;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_BASELINE_RELATION_H_

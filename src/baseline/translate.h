@@ -1,0 +1,38 @@
+// Decomposition of PathLog references into flat conjunctive atoms —
+// exactly the translation the paper argues one-dimensional languages
+// force on the user (section 1/2), and the bridge by which the
+// benchmarks give every baseline the *same* query as PathLog.
+//
+// Each path step becomes an atom with a fresh intermediate variable
+// ($p0, $p1, ...); each filter becomes an atom on its receiver; `self`
+// filters become equality atoms. Supported fragment: argumentless
+// methods, ground names at method/class position, scalar and set
+// paths, class/scalar/set-enum filters. Set-reference filters,
+// `@(...)` arguments, variables at method position and negation are
+// outside the relational fragment and yield kInvalidArgument — they
+// are precisely the PathLog features with no direct flat counterpart.
+
+#ifndef PATHLOG_BASELINE_TRANSLATE_H_
+#define PATHLOG_BASELINE_TRANSLATE_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "base/result.h"
+#include "baseline/conjunctive.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+/// Translates a conjunction of (positive) literals into a flat query
+/// whose select list is every user variable (names not starting '$'),
+/// interning names through `store`.
+Result<FlatQuery> FlattenLiterals(const std::vector<Literal>& body,
+                                  ObjectStore* store);
+
+/// Convenience: translate a single reference used as a formula.
+Result<FlatQuery> FlattenRef(const RefPtr& ref, ObjectStore* store);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_BASELINE_TRANSLATE_H_

@@ -1,0 +1,62 @@
+// Variable bindings with a backtracking trail.
+//
+// The reference evaluator explores the space of valuations by binding
+// variables as it walks a reference left-to-right and undoing those
+// bindings on backtrack. Mark()/Undo() give O(1)-amortised rollback.
+
+#ifndef PATHLOG_EVAL_BINDINGS_H_
+#define PATHLOG_EVAL_BINDINGS_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "semantics/valuation.h"
+#include "store/oid.h"
+
+namespace pathlog {
+
+class Bindings {
+ public:
+  /// Current value of a variable, if bound.
+  std::optional<Oid> Get(const std::string& var) const {
+    auto it = map_.find(var);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool IsBound(const std::string& var) const { return map_.count(var) > 0; }
+
+  /// Binds `var` (which must be unbound) and records it on the trail.
+  void Bind(const std::string& var, Oid value) {
+    map_.emplace(var, value);
+    trail_.push_back(var);
+  }
+
+  /// Snapshot of the trail position; pass to Undo to roll back.
+  size_t Mark() const { return trail_.size(); }
+
+  /// Unbinds every variable bound since `mark`.
+  void Undo(size_t mark) {
+    while (trail_.size() > mark) {
+      map_.erase(trail_.back());
+      trail_.pop_back();
+    }
+  }
+
+  size_t size() const { return map_.size(); }
+
+  /// The current bindings as a Definition-4 style valuation.
+  VarValuation ToValuation() const {
+    return VarValuation(map_.begin(), map_.end());
+  }
+
+ private:
+  std::unordered_map<std::string, Oid> map_;
+  std::vector<std::string> trail_;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_EVAL_BINDINGS_H_

@@ -1,0 +1,244 @@
+#include "eval/dependency.h"
+
+#include "ast/analysis.h"
+
+namespace pathlog {
+
+namespace {
+
+/// Collects definition/read sets of a single rule.
+class Collector {
+ public:
+  Collector(ObjectStore* store, RuleDeps* deps, HeadValueMode mode)
+      : store_(store), deps_(deps),
+        value_creates_(mode == HeadValueMode::kSkolemize) {}
+
+  /// Entry point for rule heads: everything read while walking the
+  /// head is an assert-time read (see RuleDeps::head_reads).
+  void WalkHeadTop(const Ref& t) {
+    in_head_ = true;
+    WalkHead(t, /*create=*/true);
+    in_head_ = false;
+  }
+
+  /// `create` is true on the head spine (paths there always define
+  /// virtual objects) and mode-dependent at value positions.
+  void WalkHead(const Ref& t, bool create) {
+    switch (t.kind) {
+      case RefKind::kName:
+      case RefKind::kVar:
+        return;
+      case RefKind::kParen:
+        WalkHead(*t.base, create);
+        return;
+      case RefKind::kPath: {
+        if (create || value_creates_) {
+          DefineMethod(*t.method);
+        }
+        // The assert-time lookup is also a read (change tracking).
+        ReadMethod(*t.method, /*complete=*/false);
+        WalkHead(*t.base, create);
+        for (const RefPtr& a : t.args) WalkHead(*a, value_creates_);
+        return;
+      }
+      case RefKind::kMolecule: {
+        WalkHead(*t.base, create);
+        for (const Filter& f : t.filters) {
+          if (f.kind == FilterKind::kClass) {
+            deps_->defines_isa = true;
+            WalkHead(*f.value, value_creates_);
+            continue;
+          }
+          DefineMethod(*f.method);
+          for (const RefPtr& a : f.args) WalkHead(*a, value_creates_);
+          switch (f.kind) {
+            case FilterKind::kScalar:
+              WalkHead(*f.value, value_creates_);
+              break;
+            case FilterKind::kSetRef:
+              // Referenced, not asserted: a needs-complete body read.
+              WalkBody(*f.value, /*complete=*/true);
+              break;
+            case FilterKind::kSetEnum:
+              for (const RefPtr& e : f.elems) WalkHead(*e, value_creates_);
+              break;
+            case FilterKind::kClass:
+              break;
+          }
+        }
+        return;
+      }
+    }
+  }
+
+  void WalkBody(const Ref& t, bool complete) {
+    switch (t.kind) {
+      case RefKind::kName:
+      case RefKind::kVar:
+        return;
+      case RefKind::kParen:
+        WalkBody(*t.base, complete);
+        return;
+      case RefKind::kPath:
+        ReadMethod(*t.method, complete);
+        WalkBody(*t.base, complete);
+        for (const RefPtr& a : t.args) WalkBody(*a, complete);
+        return;
+      case RefKind::kMolecule: {
+        WalkBody(*t.base, complete);
+        for (const Filter& f : t.filters) {
+          if (f.kind == FilterKind::kClass) {
+            deps_->reads_isa = true;
+            if (complete) deps_->reads_isa_complete = true;
+            WalkBody(*f.value, complete);
+            continue;
+          }
+          ReadMethod(*f.method, complete);
+          for (const RefPtr& a : f.args) WalkBody(*a, complete);
+          switch (f.kind) {
+            case FilterKind::kScalar:
+              WalkBody(*f.value, complete);
+              break;
+            case FilterKind::kSetRef:
+              // The specified set must be final before the subset test
+              // is meaningful (paper section 6, [NT89]).
+              WalkBody(*f.value, /*complete=*/true);
+              break;
+            case FilterKind::kSetEnum:
+              for (const RefPtr& e : f.elems) WalkBody(*e, complete);
+              break;
+            case FilterKind::kClass:
+              break;
+          }
+        }
+        return;
+      }
+    }
+  }
+
+ private:
+  void DefineMethod(const Ref& m) {
+    const Ref* d = &m;
+    while (d->kind == RefKind::kParen) d = d->base.get();
+    if (d->kind == RefKind::kName && d->name_kind == NameKind::kSymbol) {
+      deps_->defines.insert(store_->InternSymbol(d->text));
+      return;
+    }
+    // Variable or complex method: may define any method (and a complex
+    // method path's own steps are defined as virtual method objects).
+    deps_->defines_any = true;
+    if (d->kind == RefKind::kPath || d->kind == RefKind::kMolecule) {
+      WalkHead(*d, /*create=*/true);
+    }
+  }
+
+  void ReadMethod(const Ref& m, bool complete) {
+    const Ref* d = &m;
+    while (d->kind == RefKind::kParen) d = d->base.get();
+    if (d->kind == RefKind::kName && d->name_kind == NameKind::kSymbol) {
+      Oid o = store_->InternSymbol(d->text);
+      deps_->reads.insert(o);
+      if (complete) deps_->reads_complete.insert(o);
+      if (in_head_) deps_->head_reads.insert(o);
+      return;
+    }
+    deps_->reads_any = true;
+    if (complete) deps_->reads_any_complete = true;
+    if (in_head_) deps_->head_reads_any = true;
+    if (d->kind == RefKind::kPath || d->kind == RefKind::kMolecule) {
+      WalkBody(*d, complete);
+    }
+  }
+
+  ObjectStore* store_;
+  RuleDeps* deps_;
+  bool value_creates_;
+  bool in_head_ = false;
+};
+
+}  // namespace
+
+uint32_t DependencyGraph::NodeOf(Oid method, const ObjectStore& store) {
+  auto it = method_nodes_.find(method);
+  if (it != method_nodes_.end()) return it->second;
+  uint32_t node = static_cast<uint32_t>(node_names_.size());
+  node_names_.push_back(store.DisplayName(method));
+  method_nodes_.emplace(method, node);
+  return node;
+}
+
+Result<DependencyGraph> DependencyGraph::Build(const std::vector<Rule>& rules,
+                                               ObjectStore* store,
+                                               HeadValueMode mode) {
+  DependencyGraph g;
+  g.node_names_ = {"<any-method>", "<hierarchy>"};
+
+  bool any_defines_any = false;
+  bool any_reads_any = false;
+  for (const Rule& rule : rules) {
+    RuleDeps deps;
+    Collector c(store, &deps, mode);
+    c.WalkHeadTop(*rule.head);
+    for (const Literal& lit : rule.body) {
+      c.WalkBody(*lit.ref, /*complete=*/lit.negated);
+    }
+    any_defines_any |= deps.defines_any;
+    any_reads_any |= deps.reads_any;
+    g.rule_deps_.push_back(std::move(deps));
+  }
+
+  // Materialise nodes and per-rule define-node lists.
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const RuleDeps& deps = g.rule_deps_[r];
+    std::vector<uint32_t> defs;
+    if (deps.defines_any) defs.push_back(kAnyNode);
+    if (deps.defines_isa) defs.push_back(kIsaNode);
+    for (Oid m : deps.defines) defs.push_back(g.NodeOf(m, *store));
+    for (Oid m : deps.reads) g.NodeOf(m, *store);
+    for (Oid m : deps.reads_complete) g.NodeOf(m, *store);
+    g.rule_define_nodes_.push_back(std::move(defs));
+  }
+
+  // A molecule head may define several symbols at once; the rule must
+  // run in one stratum, so co-defined symbols are cycle-linked to force
+  // them into the same SCC (hence the same stratum).
+  for (const std::vector<uint32_t>& defs : g.rule_define_nodes_) {
+    for (size_t i = 0; defs.size() > 1 && i < defs.size(); ++i) {
+      g.edges_.push_back(Edge{defs[i], defs[(i + 1) % defs.size()], false});
+    }
+  }
+
+  // Edges: every defined symbol depends on every read symbol.
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const RuleDeps& deps = g.rule_deps_[r];
+    std::vector<std::pair<uint32_t, bool>> read_nodes;
+    for (Oid m : deps.reads) {
+      bool complete = deps.reads_complete.count(m) > 0;
+      read_nodes.push_back({g.NodeOf(m, *store), complete});
+    }
+    if (deps.reads_isa) {
+      read_nodes.push_back({kIsaNode, deps.reads_isa_complete});
+    }
+    if (deps.reads_any) {
+      read_nodes.push_back({kAnyNode, deps.reads_any_complete});
+    }
+    for (uint32_t d : g.rule_define_nodes_[r]) {
+      for (auto [to, complete] : read_nodes) {
+        g.edges_.push_back(Edge{d, to, complete});
+      }
+    }
+  }
+
+  // Wildcard coupling: a rule that may define any method makes every
+  // method's derivation depend on the wildcard node; a rule that may
+  // read any method makes the wildcard depend on every method.
+  if (any_defines_any || any_reads_any) {
+    for (uint32_t n = 2; n < g.node_names_.size(); ++n) {
+      if (any_defines_any) g.edges_.push_back(Edge{n, kAnyNode, false});
+      if (any_reads_any) g.edges_.push_back(Edge{kAnyNode, n, false});
+    }
+  }
+  return g;
+}
+
+}  // namespace pathlog

@@ -1,0 +1,101 @@
+// Method dependency analysis for stratification and semi-naive
+// change propagation.
+//
+// Nodes are method symbols, plus two special nodes:
+//   kAnyNode — the wildcard: a variable or complex reference at method
+//              position may denote *any* method (generic rules like the
+//              paper's `tc`);
+//   kIsaNode — the whole hierarchy relation <=_U (memberships interact
+//              through transitivity, so we conservatively treat all
+//              class filters as one symbol).
+//
+// A rule contributes edges defined-symbol -> read-symbol. A read is
+// *needs-complete* when the rule can only be evaluated once the read
+// method's result sets are final: the method occurs inside the result
+// reference of a `->>` filter in a body literal or head (paper
+// section 6, the [NT89]-style condition), or anywhere inside a negated
+// literal.
+
+#ifndef PATHLOG_EVAL_DEPENDENCY_H_
+#define PATHLOG_EVAL_DEPENDENCY_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/result.h"
+#include "eval/head_assert.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+/// What one rule defines and reads, at method-Oid granularity (used by
+/// the engine for change tracking) plus wildcard/isa flags.
+struct RuleDeps {
+  std::unordered_set<Oid> defines;
+  bool defines_any = false;
+  bool defines_isa = false;
+
+  std::unordered_set<Oid> reads;          // normal reads
+  std::unordered_set<Oid> reads_complete; // needs-complete reads
+  bool reads_any = false;
+  bool reads_isa = false;
+  bool reads_isa_complete = false;
+  bool reads_any_complete = false;
+
+  /// Subset of `reads` consumed at *assert time* by the head (spine
+  /// lookups, value paths, head set-reference results). The
+  /// literal-level delta strategy must fall back to a full evaluation
+  /// when any of these changed, because delta restriction only covers
+  /// body literals.
+  std::unordered_set<Oid> head_reads;
+  bool head_reads_any = false;
+};
+
+class DependencyGraph {
+ public:
+  /// Builds per-rule dependency sets and the symbol graph. Interns
+  /// method names through `store` so symbols are Oids. `mode` matters
+  /// because kSkolemize turns head value paths into definitions.
+  static Result<DependencyGraph> Build(const std::vector<Rule>& rules,
+                                       ObjectStore* store,
+                                       HeadValueMode mode);
+
+  struct Edge {
+    uint32_t from;  // node index of a defined symbol
+    uint32_t to;    // node index of a read symbol
+    bool needs_complete;
+  };
+
+  static constexpr uint32_t kAnyNode = 0;
+  static constexpr uint32_t kIsaNode = 1;
+
+  size_t num_nodes() const { return node_names_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<RuleDeps>& rule_deps() const { return rule_deps_; }
+
+  /// Node indexes of the symbols a rule defines (for stratum lookup).
+  const std::vector<std::vector<uint32_t>>& rule_define_nodes() const {
+    return rule_define_nodes_;
+  }
+
+  /// Display name of a node, for diagnostics.
+  const std::string& NodeName(uint32_t node) const {
+    return node_names_[node];
+  }
+
+ private:
+  uint32_t NodeOf(Oid method, const ObjectStore& store);
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<Oid, uint32_t> method_nodes_;
+  std::vector<Edge> edges_;
+  std::vector<RuleDeps> rule_deps_;
+  std::vector<std::vector<uint32_t>> rule_define_nodes_;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_EVAL_DEPENDENCY_H_

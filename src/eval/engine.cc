@@ -1,0 +1,350 @@
+#include "eval/engine.h"
+
+#include <algorithm>
+
+#include "ast/analysis.h"
+#include "ast/printer.h"
+#include "base/strings.h"
+#include "eval/ref_eval.h"
+#include "semantics/structure.h"
+
+namespace pathlog {
+
+namespace {
+
+void CollectSetRefValueVars(const Ref& t, std::set<std::string>* out) {
+  switch (t.kind) {
+    case RefKind::kName:
+    case RefKind::kVar:
+      return;
+    case RefKind::kParen:
+      CollectSetRefValueVars(*t.base, out);
+      return;
+    case RefKind::kPath:
+      CollectSetRefValueVars(*t.base, out);
+      CollectSetRefValueVars(*t.method, out);
+      for (const RefPtr& a : t.args) CollectSetRefValueVars(*a, out);
+      return;
+    case RefKind::kMolecule:
+      CollectSetRefValueVars(*t.base, out);
+      for (const Filter& f : t.filters) {
+        if (f.kind == FilterKind::kClass) {
+          CollectSetRefValueVars(*f.value, out);
+          continue;
+        }
+        CollectSetRefValueVars(*f.method, out);
+        for (const RefPtr& a : f.args) CollectSetRefValueVars(*a, out);
+        if (f.kind == FilterKind::kSetRef) {
+          CollectVars(*f.value, out);  // everything inside must be bound
+        } else if (f.kind == FilterKind::kScalar) {
+          CollectSetRefValueVars(*f.value, out);
+        } else {
+          for (const RefPtr& e : f.elems) CollectSetRefValueVars(*e, out);
+        }
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> SetRefValueVars(const Ref& t) {
+  std::set<std::string> out;
+  CollectSetRefValueVars(t, &out);
+  return out;
+}
+
+Status OrderLiteralsForSafety(std::vector<Literal>* body,
+                              std::set<std::string>* bound_out) {
+  std::vector<Literal> remaining = std::move(*body);
+  std::vector<Literal> ordered;
+  std::set<std::string> bound;
+
+  // Variables occurring in more than one literal. A variable local to a
+  // single negated literal is existentially quantified inside the
+  // negation (not-exists) and need not be bound.
+  std::map<std::string, int> occurrences;
+  for (const Literal& lit : remaining) {
+    for (const std::string& v : VarsOf(*lit.ref)) ++occurrences[v];
+  }
+
+  auto admissible = [&](const Literal& lit) {
+    std::set<std::string> need;
+    if (lit.negated) {
+      for (const std::string& v : VarsOf(*lit.ref)) {
+        if (occurrences[v] > 1) need.insert(v);
+      }
+    } else {
+      need = SetRefValueVars(*lit.ref);
+    }
+    for (const std::string& v : need) {
+      if (!bound.count(v)) return false;
+    }
+    return true;
+  };
+
+  while (!remaining.empty()) {
+    size_t pick = remaining.size();
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (admissible(remaining[i])) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == remaining.size()) {
+      return UnsafeRule(
+          "cannot order the conjunction: a negated literal or `->>` filter "
+          "result needs variables no earlier literal can bind");
+    }
+    if (!remaining[pick].negated) {
+      // Negated literals are tests; they bind nothing.
+      for (const std::string& v : VarsOf(*remaining[pick].ref)) {
+        bound.insert(v);
+      }
+    }
+    ordered.push_back(std::move(remaining[pick]));
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick));
+  }
+  *body = std::move(ordered);
+  if (bound_out) *bound_out = std::move(bound);
+  return Status::OK();
+}
+
+Status Engine::PlanBody(Rule* rule) const {
+  std::set<std::string> bound;
+  Status st = OrderLiteralsForSafety(&rule->body, &bound);
+  if (!st.ok()) {
+    return UnsafeRule(StrCat("in rule `", ToString(*rule), "`: ",
+                             st.message()));
+  }
+
+  for (const std::string& v : VarsOf(*rule->head)) {
+    if (!bound.count(v)) {
+      return UnsafeRule(StrCat("head variable ", v, " of rule `",
+                               ToString(*rule),
+                               "` is not bound by any positive body literal "
+                               "(range restriction)"));
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::AddRule(const Rule& rule) {
+  PATHLOG_RETURN_IF_ERROR(CheckRuleWellFormed(rule));
+  PlannedRule pr;
+  pr.rule = rule;
+  pr.index = rules_.size();
+  PATHLOG_RETURN_IF_ERROR(PlanBody(&pr.rule));
+  pr.head_vars = VarsOf(*pr.rule.head);
+  rules_.push_back(std::move(pr));
+  return Status::OK();
+}
+
+Status Engine::AddRules(const std::vector<Rule>& rules) {
+  for (const Rule& r : rules) {
+    PATHLOG_RETURN_IF_ERROR(AddRule(r));
+  }
+  return Status::OK();
+}
+
+void Engine::ScanNewFacts() {
+  const uint64_t end = store_->generation();
+  for (uint64_t g = scan_watermark_; g < end; ++g) {
+    const Fact& f = store_->FactAt(g);
+    if (f.kind == FactKind::kIsa) {
+      isa_gen_ = g + 1;
+    } else {
+      uint64_t& mg = method_gen_[f.method];
+      mg = std::max(mg, g + 1);
+    }
+    any_gen_ = g + 1;
+  }
+  scan_watermark_ = end;
+}
+
+bool Engine::RuleAffected(const PlannedRule& pr, const RuleDeps& deps) const {
+  const uint64_t since = pr.last_eval_gen;
+  if (deps.reads_any && any_gen_ > since) return true;
+  if ((deps.reads_isa || deps.defines_isa) && isa_gen_ > since) return true;
+  for (Oid m : deps.reads) {
+    auto it = method_gen_.find(m);
+    if (it != method_gen_.end() && it->second > since) return true;
+  }
+  for (Oid m : deps.reads_complete) {
+    auto it = method_gen_.find(m);
+    if (it != method_gen_.end() && it->second > since) return true;
+  }
+  return false;
+}
+
+bool Engine::HeadReadsChanged(const PlannedRule& pr,
+                              const RuleDeps& deps) const {
+  const uint64_t since = pr.last_eval_gen;
+  if (deps.head_reads_any && any_gen_ > since) return true;
+  // Class filters in heads interact with the hierarchy.
+  if (deps.defines_isa && isa_gen_ > since) return true;
+  for (Oid m : deps.head_reads) {
+    auto it = method_gen_.find(m);
+    if (it != method_gen_.end() && it->second > since) return true;
+  }
+  return false;
+}
+
+Status Engine::CheckLimits() const {
+  if (store_->FactCount() > options_.max_facts) {
+    return ResourceExhausted(StrCat(
+        "fact limit exceeded (", options_.max_facts,
+        "); the program likely creates virtual objects unboundedly"));
+  }
+  if (store_->UniverseSize() > options_.max_objects) {
+    return ResourceExhausted(StrCat(
+        "object limit exceeded (", options_.max_objects,
+        "); the program likely creates virtual objects unboundedly"));
+  }
+  return Status::OK();
+}
+
+Status Engine::EvaluateRule(PlannedRule* pr, HeadAsserter* asserter,
+                            std::optional<uint64_t> delta_from) {
+  SemanticStructure I(*store_);
+  RefEvaluator eval(I);
+  Bindings b;
+
+  // Body enumeration must not mutate the store (iterator stability), so
+  // solutions are batched — projected onto the head's variables and
+  // deduplicated — and asserted afterwards.
+  std::set<VarValuation> batch;
+  const std::vector<Literal>& body = pr->rule.body;
+
+  // Index of the literal currently under delta restriction, or one
+  // past the end for a full (unrestricted) evaluation.
+  size_t delta_idx = body.size();
+
+  std::function<Result<bool>(size_t)> go =
+      [&](size_t i) -> Result<bool> {
+    if (i == body.size()) {
+      VarValuation v;
+      for (const std::string& hv : pr->head_vars) {
+        v.emplace(hv, *b.Get(hv));
+      }
+      batch.insert(std::move(v));
+      return true;
+    }
+    const Literal& lit = body[i];
+    if (lit.negated) {
+      Result<bool> sat = eval.Satisfiable(*lit.ref, &b);
+      if (!sat.ok()) return sat.status();
+      if (*sat) return true;  // negated literal fails: backtrack
+      return go(i + 1);
+    }
+    if (i != delta_idx) {
+      return eval.Enumerate(*lit.ref, &b, [&](Oid) { return go(i + 1); });
+    }
+    // The designated literal: delta counting is active only while this
+    // literal matches — earlier literals ran before EnterDelta, later
+    // ones run with counting suspended. A solution survives only if
+    // this literal consumed a fact newer than the rule's previous
+    // evaluation.
+    eval.EnterDelta(*delta_from);
+    Result<bool> res =
+        eval.Enumerate(*lit.ref, &b, [&](Oid) -> Result<bool> {
+          if (!eval.DeltaSeen()) return true;
+          bool saved = eval.SuspendDelta();
+          Result<bool> r = go(i + 1);
+          eval.ResumeDelta(saved);
+          return r;
+        });
+    eval.ExitDelta();
+    return res;
+  };
+
+  if (!delta_from.has_value()) {
+    Result<bool> r = go(0);
+    if (!r.ok()) return r.status();
+  } else {
+    for (size_t p = 0; p < body.size(); ++p) {
+      if (body[p].negated) continue;  // monotone store: no new matches
+      delta_idx = p;
+      ++stats_.delta_passes;
+      Result<bool> r = go(0);
+      if (!r.ok()) return r.status();
+    }
+  }
+
+  for (const VarValuation& v : batch) {
+    Bindings hb;
+    for (const auto& [var, oid] : v) hb.Bind(var, oid);
+    const uint64_t before = store_->generation();
+    PATHLOG_RETURN_IF_ERROR(asserter->Assert(*pr->rule.head, &hb));
+    ++stats_.derivations;
+    if (options_.trace_provenance && store_->generation() > before) {
+      provenance_.push_back(
+          DerivationRecord{before, store_->generation(), pr->index, v});
+    }
+  }
+  return CheckLimits();
+}
+
+Status Engine::RunStratum(const std::vector<size_t>& rule_idxs,
+                          const std::vector<RuleDeps>& deps) {
+  HeadAsserter asserter(store_, options_.head_value_mode);
+  bool first = true;
+  for (;;) {
+    ++stats_.iterations;
+    if (stats_.iterations > options_.max_iterations) {
+      return ResourceExhausted(
+          StrCat("iteration limit exceeded (", options_.max_iterations, ")"));
+    }
+    const uint64_t start_gen = store_->generation();
+    for (size_t idx : rule_idxs) {
+      PlannedRule& pr = rules_[idx];
+      const bool semi = options_.strategy != EvalStrategy::kNaive;
+      if (semi && !first && !RuleAffected(pr, deps[idx])) {
+        continue;
+      }
+      std::optional<uint64_t> delta_from;
+      if (options_.strategy == EvalStrategy::kSemiNaiveDelta && !first &&
+          !HeadReadsChanged(pr, deps[idx])) {
+        delta_from = pr.last_eval_gen;
+      }
+      pr.last_eval_gen = store_->generation();
+      ++stats_.rule_evaluations;
+      PATHLOG_RETURN_IF_ERROR(EvaluateRule(&pr, &asserter, delta_from));
+    }
+    ScanNewFacts();
+    first = false;
+    if (store_->generation() == start_gen) break;
+  }
+  stats_.skolems_created += asserter.skolems_created();
+  return Status::OK();
+}
+
+Status Engine::Run() {
+  const uint64_t start_facts = store_->generation();
+
+  std::vector<Rule> plain;
+  plain.reserve(rules_.size());
+  for (const PlannedRule& pr : rules_) plain.push_back(pr.rule);
+  PATHLOG_ASSIGN_OR_RETURN(
+      DependencyGraph graph,
+      DependencyGraph::Build(plain, store_, options_.head_value_mode));
+  PATHLOG_ASSIGN_OR_RETURN(Stratification strata,
+                           Stratify(graph, rules_.size()));
+  stats_.num_strata = strata.num_strata;
+
+  // Account for facts loaded before Run() in the change tracker.
+  ScanNewFacts();
+
+  for (int s = 0; s < strata.num_strata; ++s) {
+    std::vector<size_t> idxs;
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      if (strata.rule_stratum[r] == s) idxs.push_back(r);
+    }
+    if (idxs.empty()) continue;
+    PATHLOG_RETURN_IF_ERROR(RunStratum(idxs, graph.rule_deps()));
+  }
+  stats_.facts_added += store_->generation() - start_facts;
+  return Status::OK();
+}
+
+}  // namespace pathlog

@@ -1,0 +1,165 @@
+// The deductive engine: stratified bottom-up fixpoint evaluation of
+// PathLog rules (paper section 6: "to evaluate rules in PathLog
+// well-known bottom-up techniques may be applied").
+//
+// Strategies (ablated in bench/bench_tc.cc):
+//   kNaive          every rule re-evaluated every iteration until no
+//                   new facts — the textbook oracle.
+//   kSemiNaiveRules predicate-level change propagation: a rule is only
+//                   re-evaluated when a method (or the hierarchy) it
+//                   reads gained facts since its last evaluation.
+//   kSemiNaiveDelta literal-level delta restriction on top of the
+//                   above — the classic semi-naive (see the enum and
+//                   docs/IMPLEMENTATION.md).
+//
+// All strategies are sound and complete for stratified programs; the
+// store's set semantics (facts are deduplicated) guarantees
+// termination whenever the derivable fact set is finite. Virtual-object
+// creation can make it infinite (e.g. a rule deriving a fresh successor
+// for every derived object); max_facts/max_objects turn runaway
+// programs into kResourceExhausted instead of livelock.
+
+#ifndef PATHLOG_EVAL_ENGINE_H_
+#define PATHLOG_EVAL_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/result.h"
+#include "eval/dependency.h"
+#include "eval/head_assert.h"
+#include "eval/stratify.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+enum class EvalStrategy : uint8_t {
+  /// Every rule re-evaluated every iteration (textbook oracle).
+  kNaive,
+  /// Predicate-level change propagation: a rule is re-evaluated only
+  /// when something it reads changed.
+  kSemiNaiveRules,
+  /// Literal-level delta restriction (the classic semi-naive): after
+  /// the first round, each re-evaluation runs one pass per positive
+  /// body literal, keeping only derivations in which that literal
+  /// consumed a fact newer than the rule's previous evaluation. Falls
+  /// back to a full pass when an assert-time (head) read changed.
+  kSemiNaiveDelta,
+};
+
+struct EngineOptions {
+  EvalStrategy strategy = EvalStrategy::kSemiNaiveRules;
+  HeadValueMode head_value_mode = HeadValueMode::kRequireDefined;
+  /// Record which rule instance produced each derived fact (see
+  /// Engine::provenance and Database::ExplainFact). Off by default:
+  /// records cost memory proportional to the number of derivations.
+  bool trace_provenance = false;
+  /// Hard ceilings that turn non-terminating programs into errors.
+  uint64_t max_iterations = 1'000'000;
+  uint64_t max_facts = 20'000'000;
+  uint64_t max_objects = 20'000'000;
+};
+
+/// One head-instance assertion that added facts: the facts with
+/// generation in [first_gen, end_gen) were derived by rule
+/// `rule_index` under `bindings` (projected onto the head variables).
+struct DerivationRecord {
+  uint64_t first_gen;
+  uint64_t end_gen;
+  size_t rule_index;
+  VarValuation bindings;
+};
+
+struct EngineStats {
+  uint64_t iterations = 0;        ///< fixpoint rounds across all strata
+  uint64_t rule_evaluations = 0;  ///< rule body evaluations
+  uint64_t delta_passes = 0;      ///< delta-restricted literal passes
+  uint64_t derivations = 0;       ///< head instances asserted
+  uint64_t facts_added = 0;       ///< store growth caused by Run()
+  uint64_t skolems_created = 0;   ///< virtual objects defined
+  int num_strata = 1;
+};
+
+class Engine {
+ public:
+  explicit Engine(ObjectStore* store, EngineOptions options = {})
+      : store_(store), options_(options) {}
+
+  /// Validates (Definition 3, head restrictions, body safety) and adds
+  /// a rule. Body literals are reordered so that every needs-ground
+  /// position (set-reference results, negated literals) is reached with
+  /// its variables bound; kUnsafeRule if impossible.
+  Status AddRule(const Rule& rule);
+
+  /// Adds every rule of a parsed program (queries/signatures ignored).
+  Status AddRules(const std::vector<Rule>& rules);
+
+  /// Runs stratified fixpoint evaluation to completion.
+  Status Run();
+
+  const EngineStats& stats() const { return stats_; }
+  size_t num_rules() const { return rules_.size(); }
+  /// The i-th rule as planned (body in evaluation order).
+  const Rule& rule(size_t i) const { return rules_[i].rule; }
+
+  /// Derivation records (empty unless options.trace_provenance),
+  /// ordered by first_gen.
+  const std::vector<DerivationRecord>& provenance() const {
+    return provenance_;
+  }
+
+ private:
+  struct PlannedRule {
+    Rule rule;                    // body already in evaluation order
+    size_t index = 0;             // position in the rules_ vector
+    std::set<std::string> head_vars;
+    uint64_t last_eval_gen = 0;   // store generation at last evaluation
+  };
+
+  Status PlanBody(Rule* rule) const;
+  Status RunStratum(const std::vector<size_t>& rule_idxs,
+                    const std::vector<RuleDeps>& deps);
+  /// Evaluates a rule body and asserts the head for every solution.
+  /// With `delta_from` set, runs one delta-restricted pass per positive
+  /// body literal instead of one full evaluation.
+  Status EvaluateRule(PlannedRule* pr, HeadAsserter* asserter,
+                      std::optional<uint64_t> delta_from);
+  bool RuleAffected(const PlannedRule& pr, const RuleDeps& deps) const;
+  bool HeadReadsChanged(const PlannedRule& pr, const RuleDeps& deps) const;
+  void ScanNewFacts();
+  Status CheckLimits() const;
+
+  ObjectStore* store_;
+  EngineOptions options_;
+  std::vector<PlannedRule> rules_;
+  std::vector<DerivationRecord> provenance_;
+  EngineStats stats_;
+
+  // Change tracking: generation of the most recent fact per method /
+  // hierarchy, maintained by ScanNewFacts.
+  std::unordered_map<Oid, uint64_t> method_gen_;
+  uint64_t isa_gen_ = 0;
+  uint64_t any_gen_ = 0;
+  uint64_t scan_watermark_ = 0;
+};
+
+/// Variables that occur inside the result reference of a `->>` filter
+/// anywhere in `t` — these must be bound before the literal containing
+/// them is evaluated. Exposed for tests.
+std::set<std::string> SetRefValueVars(const Ref& t);
+
+/// Reorders a conjunction so every literal is admissible when reached:
+/// negated literals after all their variables are bound, `->>` filter
+/// results after everything inside them is bound. On success `*bound`
+/// (if non-null) receives the variables bound by the positive
+/// literals. kUnsafeRule when no admissible order exists. Used by the
+/// engine for rule bodies and by Database for ad-hoc queries.
+Status OrderLiteralsForSafety(std::vector<Literal>* body,
+                              std::set<std::string>* bound);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_EVAL_ENGINE_H_

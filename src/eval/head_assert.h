@@ -1,0 +1,79 @@
+// Making rule heads true: assertion of derived facts, including the
+// paper's virtual-object mechanism (section 6).
+//
+// A scalar path on the head's spine whose method is undefined for the
+// receiver *defines a virtual object*: a fresh anonymous oid is
+// allocated and recorded as the method's result, so the path
+// deterministically references the same virtual object on every
+// re-derivation (the skolem cache *is* the store). Example (6.1):
+//
+//   X.boss[worksFor->D] <- X : employee[worksFor->D].
+//
+// derives, for p1 without an extensional boss, a fresh object `_boss(p1)`
+// with boss(p1) = _boss(p1) and worksFor(_boss(p1)) = cs1.
+//
+// Methods are used instead of function symbols (the paper's key
+// simplification over F-logic / XSQL views), so method positions in
+// heads may themselves be paths: the generic transitive closure
+//   X[(M.tc)->>{Y}] <- X[M->>{Y}].
+// allocates one virtual *method object* `_tc(kids)` per closed method.
+
+#ifndef PATHLOG_EVAL_HEAD_ASSERT_H_
+#define PATHLOG_EVAL_HEAD_ASSERT_H_
+
+#include <cstdint>
+
+#include "ast/ref.h"
+#include "base/result.h"
+#include "eval/bindings.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+/// What to do when a scalar path at a *value* position of a head (a
+/// filter result, a method argument, or a class position — anything
+/// off the spine) is undefined for its receiver.
+enum class HeadValueMode : uint8_t {
+  /// Skip this head instance entirely: the rule derives nothing for
+  /// bindings under which a value path is undefined. (Default: value
+  /// positions reference, only the spine defines.)
+  kRequireDefined,
+  /// Uniformly skolemise: value paths also create virtual objects,
+  /// giving the full existential "make the head true" semantics.
+  kSkolemize,
+};
+
+class HeadAsserter {
+ public:
+  HeadAsserter(ObjectStore* store, HeadValueMode mode)
+      : store_(store), mode_(mode) {}
+
+  /// Asserts one instance of `head` under `b` (every variable of the
+  /// head must be bound). Adds facts to the store; creation of virtual
+  /// objects is counted in skolems_created(). Whether anything changed
+  /// is visible through the store's generation().
+  Status Assert(const Ref& head, Bindings* b);
+
+  uint64_t skolems_created() const { return skolems_created_; }
+
+ private:
+  class Txn;
+
+  /// Resolves a reference to the single object it must denote, staging
+  /// facts into `txn` and creating virtual objects for undefined
+  /// scalar-path steps when `create` is true (spine and method
+  /// positions, or kSkolemize mode). Returns kNilOid as a "skip this
+  /// head instance" marker when `create` is false and a path step is
+  /// undefined.
+  Result<Oid> Resolve(const Ref& t, bool create, Bindings* b, Txn* txn);
+
+  Result<Oid> ResolveFilterPart(const RefPtr& r, Bindings* b, Txn* txn);
+
+  ObjectStore* store_;
+  HeadValueMode mode_;
+  uint64_t skolems_created_ = 0;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_EVAL_HEAD_ASSERT_H_

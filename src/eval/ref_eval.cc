@@ -1,0 +1,558 @@
+#include "eval/ref_eval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ast/analysis.h"
+#include "ast/printer.h"
+#include "base/strings.h"
+
+namespace pathlog {
+
+namespace {
+
+/// Strips grouping brackets; they affect parsing, not denotation.
+const Ref& Deref(const Ref& t) {
+  const Ref* p = &t;
+  while (p->kind == RefKind::kParen) p = p->base.get();
+  return *p;
+}
+
+std::optional<Oid> LookupName(const ObjectStore& store, const Ref& t) {
+  switch (t.name_kind) {
+    case NameKind::kSymbol:
+      return store.FindSymbol(t.text);
+    case NameKind::kInt:
+      return store.FindInt(t.int_value);
+    case NameKind::kString:
+      return store.FindString(t.text);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool RefEvaluator::AllVarsBound(const Ref& t, const Bindings& b) const {
+  for (const std::string& v : VarsOf(t)) {
+    if (!b.IsBound(v)) return false;
+  }
+  return true;
+}
+
+Result<bool> RefEvaluator::Enumerate(const Ref& t, Bindings* b,
+                                     const EmitFn& emit) {
+  switch (t.kind) {
+    case RefKind::kName: {
+      std::optional<Oid> o = LookupName(I_.store(), t);
+      if (!o) return true;  // nothing denoted in this store
+      ++emit_count_;
+      return emit(*o);
+    }
+    case RefKind::kVar: {
+      if (std::optional<Oid> v = b->Get(t.text)) {
+        ++emit_count_;
+        return emit(*v);
+      }
+      // Fallback: a variable with no driving context ranges over the
+      // whole universe (active domain). The molecule/path evaluators
+      // avoid this with index-driven enumeration.
+      const size_t n = I_.store().UniverseSize();
+      for (Oid o = 0; o < n; ++o) {
+        size_t mark = b->Mark();
+        b->Bind(t.text, o);
+        ++emit_count_;
+        Result<bool> r = emit(o);
+        b->Undo(mark);
+        if (!r.ok() || !*r) return r;
+      }
+      return true;
+    }
+    case RefKind::kParen:
+      return Enumerate(*t.base, b, emit);
+    case RefKind::kPath:
+      return EnumPath(t, b, emit);
+    case RefKind::kMolecule:
+      return EnumMolecule(t, b, emit);
+  }
+  return Status(Internal("Enumerate: unknown reference kind"));
+}
+
+Result<bool> RefEvaluator::Satisfiable(const Ref& t, Bindings* b) {
+  bool found = false;
+  Result<bool> r = Enumerate(t, b, [&](Oid) -> Result<bool> {
+    found = true;
+    return false;  // stop at the first witness
+  });
+  if (!r.ok()) return r.status();
+  return found;
+}
+
+Result<std::vector<Oid>> RefEvaluator::EvalGround(const Ref& t, Bindings* b) {
+  if (!AllVarsBound(t, *b)) {
+    return Status(UnsafeRule(
+        StrCat("reference must be ground at this point, but has unbound "
+               "variables: ",
+               ToString(t))));
+  }
+  std::vector<Oid> out;
+  Result<bool> r = Enumerate(t, b, [&](Oid o) -> Result<bool> {
+    out.push_back(o);
+    return true;
+  });
+  if (!r.ok()) return r.status();
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<bool> RefEvaluator::MatchRef(const Ref& t, Oid target, Bindings* b,
+                                    const Cont& cont) {
+  const Ref& d = Deref(t);
+  switch (d.kind) {
+    case RefKind::kVar: {
+      if (std::optional<Oid> v = b->Get(d.text)) {
+        return *v == target ? cont() : Result<bool>(true);
+      }
+      size_t mark = b->Mark();
+      b->Bind(d.text, target);
+      Result<bool> r = cont();
+      b->Undo(mark);
+      return r;
+    }
+    case RefKind::kName: {
+      std::optional<Oid> o = LookupName(I_.store(), d);
+      return (o && *o == target) ? cont() : Result<bool>(true);
+    }
+    case RefKind::kMolecule:
+      // Push the known target through: the molecule denotes `target`
+      // iff its base does and `target` satisfies the filters. This is
+      // what makes matching a pattern like {Y:automobile} against a
+      // set member O(1) instead of a scan of automobile's extent.
+      return MatchRef(*d.base, target, b, [&]() -> Result<bool> {
+        return CheckFilters(d.filters, 0, target, b, cont);
+      });
+    default:
+      // Paths have no inverted index; enumerate and compare.
+      return Enumerate(t, b, [&](Oid o) -> Result<bool> {
+        if (o != target) return true;
+        return cont();
+      });
+  }
+}
+
+Result<bool> RefEvaluator::MatchArgs(const std::vector<RefPtr>& refs,
+                                     const std::vector<Oid>& oids, size_t i,
+                                     Bindings* b, const Cont& cont) {
+  if (i == refs.size()) return cont();
+  return MatchRef(*refs[i], oids[i], b, [&]() -> Result<bool> {
+    return MatchArgs(refs, oids, i + 1, b, cont);
+  });
+}
+
+Result<bool> RefEvaluator::EnumMethod(
+    const Ref& m, bool set_flavor, Bindings* b,
+    const std::function<Result<bool>(Oid)>& fn) {
+  const Ref& d = Deref(m);
+  switch (d.kind) {
+    case RefKind::kName: {
+      std::optional<Oid> o = LookupName(I_.store(), d);
+      if (!o) return true;
+      return fn(*o);
+    }
+    case RefKind::kVar: {
+      if (std::optional<Oid> v = b->Get(d.text)) return fn(*v);
+      // An unbound method variable ranges over the *named* methods that
+      // have stored facts of the required flavour — never the built-in
+      // `self` (which applies to every object) and never anonymous
+      // derived method objects such as `_tc(kids)`. Without the latter
+      // restriction the paper's generic tc program would be
+      // non-terminating bottom-up: closing `kids` creates the method
+      // object `_tc(kids)`, whose facts would re-bind M and demand
+      // `_tc(_tc(kids))`, ad infinitum (documented in DESIGN.md).
+      std::vector<Oid> methods =
+          set_flavor ? I_.store().SetMethods() : I_.store().ScalarMethods();
+      for (Oid um : methods) {
+        if (I_.store().kind(um) == ObjectKind::kAnonymous) continue;
+        size_t mark = b->Mark();
+        b->Bind(d.text, um);
+        Result<bool> r = fn(um);
+        b->Undo(mark);
+        if (!r.ok() || !*r) return r;
+      }
+      return true;
+    }
+    default:
+      // A complex method reference (e.g. the generic `(M.tc)`): any
+      // object it denotes acts as the method.
+      return Enumerate(d, b, fn);
+  }
+}
+
+Result<bool> RefEvaluator::EnumArgValues(const std::vector<RefPtr>& args,
+                                         size_t i, std::vector<Oid>* argv,
+                                         Bindings* b, const Cont& cont) {
+  if (i == args.size()) return cont();
+  return Enumerate(*args[i], b, [&](Oid o) -> Result<bool> {
+    (*argv)[i] = o;
+    return EnumArgValues(args, i + 1, argv, b, cont);
+  });
+}
+
+Result<bool> RefEvaluator::EnumPath(const Ref& t, Bindings* b,
+                                    const EmitFn& emit) {
+  return EnumMethod(*t.method, t.set_valued_path, b,
+                    [&](Oid um) -> Result<bool> {
+                      if (!t.set_valued_path) {
+                        return EnumScalarInvocations(um, *t.base, t.args, b,
+                                                     emit);
+                      }
+                      return EnumSetInvocations(um, *t.base, t.args, b, emit);
+                    });
+}
+
+Result<bool> RefEvaluator::EnumScalarInvocations(
+    Oid um, const Ref& base, const std::vector<RefPtr>& args, Bindings* b,
+    const EmitFn& emit) {
+  if (I_.IsSelf(um) && args.empty()) {
+    // self denotes the receiver itself, for every object.
+    return Enumerate(base, b, [&](Oid u0) -> Result<bool> {
+      ++emit_count_;
+      return emit(u0);
+    });
+  }
+  if (I_.IsGuard(um)) {
+    // Comparison guards compute from values; there is no extent to
+    // drive from, so receiver and arguments enumerate normally.
+    return Enumerate(base, b, [&](Oid u0) -> Result<bool> {
+      std::vector<Oid> argv(args.size());
+      return EnumArgValues(args, 0, &argv, b, [&]() -> Result<bool> {
+        if (std::optional<Oid> r = I_.Scalar(um, u0, argv)) {
+          ++emit_count_;
+          return emit(*r);
+        }
+        return true;
+      });
+    });
+  }
+  const Ref& d = Deref(base);
+  if (d.kind == RefKind::kVar && !b->IsBound(d.text)) {
+    // Drive from the method's extent: bind the receiver variable.
+    for (const ScalarEntry& e : I_.store().ScalarEntries(um)) {
+      if (e.args.size() != args.size()) continue;
+      size_t mark = b->Mark();
+      b->Bind(d.text, e.recv);
+      DeltaGuard guard(this, e.gen);
+      Result<bool> r = MatchArgs(args, e.args, 0, b, [&]() -> Result<bool> {
+        ++emit_count_;
+        return emit(e.value);
+      });
+      b->Undo(mark);
+      if (!r.ok() || !*r) return r;
+    }
+    return true;
+  }
+  return Enumerate(base, b, [&](Oid u0) -> Result<bool> {
+    const std::vector<uint32_t>& idxs = I_.store().ScalarEntriesByRecv(um, u0);
+    const std::vector<ScalarEntry>& entries = I_.store().ScalarEntries(um);
+    for (uint32_t i : idxs) {
+      const ScalarEntry& e = entries[i];
+      if (e.args.size() != args.size()) continue;
+      DeltaGuard guard(this, e.gen);
+      Result<bool> r = MatchArgs(args, e.args, 0, b, [&]() -> Result<bool> {
+        ++emit_count_;
+        return emit(e.value);
+      });
+      if (!r.ok() || !*r) return r;
+    }
+    return true;
+  });
+}
+
+Result<bool> RefEvaluator::EnumSetInvocations(
+    Oid um, const Ref& base, const std::vector<RefPtr>& args, Bindings* b,
+    const EmitFn& emit) {
+  auto emit_group = [&](const SetGroup& g) -> Result<bool> {
+    return MatchArgs(args, g.args, 0, b, [&]() -> Result<bool> {
+      for (size_t i = 0; i < g.members.size(); ++i) {
+        DeltaGuard guard(this, g.member_gens[i]);
+        ++emit_count_;
+        Result<bool> r = emit(g.members[i]);
+        if (!r.ok() || !*r) return r;
+      }
+      return true;
+    });
+  };
+  const Ref& d = Deref(base);
+  if (d.kind == RefKind::kVar && !b->IsBound(d.text)) {
+    for (const SetGroup& g : I_.store().SetGroups(um)) {
+      if (g.args.size() != args.size()) continue;
+      size_t mark = b->Mark();
+      b->Bind(d.text, g.recv);
+      Result<bool> r = emit_group(g);
+      b->Undo(mark);
+      if (!r.ok() || !*r) return r;
+    }
+    return true;
+  }
+  return Enumerate(base, b, [&](Oid u0) -> Result<bool> {
+    const std::vector<uint32_t>& idxs = I_.store().SetGroupsByRecv(um, u0);
+    const std::vector<SetGroup>& groups = I_.store().SetGroups(um);
+    for (uint32_t i : idxs) {
+      const SetGroup& g = groups[i];
+      if (g.args.size() != args.size()) continue;
+      Result<bool> r = emit_group(g);
+      if (!r.ok() || !*r) return r;
+    }
+    return true;
+  });
+}
+
+Result<bool> RefEvaluator::EnumMolecule(const Ref& t, Bindings* b,
+                                        const EmitFn& emit) {
+  const Ref& base = Deref(*t.base);
+  if (!(base.kind == RefKind::kVar && !b->IsBound(base.text))) {
+    return Enumerate(*t.base, b, [&](Oid u0) -> Result<bool> {
+      return CheckFilters(t.filters, 0, u0, b, [&]() -> Result<bool> {
+        ++emit_count_;
+        return emit(u0);
+      });
+    });
+  }
+
+  // The base is an unbound variable: choose an index-driven candidate
+  // set instead of scanning the universe.
+  std::vector<Oid> candidates;
+  bool driven = false;
+
+  auto method_oid = [&](const RefPtr& m) -> std::optional<Oid> {
+    const Ref& dm = Deref(*m);
+    if (dm.kind == RefKind::kName) return LookupName(I_.store(), dm);
+    if (dm.kind == RefKind::kVar) return b->Get(dm.text);
+    return std::nullopt;
+  };
+
+  // 1. A class filter with a resolvable class: use its extent.
+  for (const Filter& f : t.filters) {
+    if (f.kind != FilterKind::kClass) continue;
+    std::optional<Oid> c = method_oid(f.value);
+    if (c) {
+      candidates = I_.store().Members(*c);
+      driven = true;
+      break;
+    }
+    const Ref& dc = Deref(*f.value);
+    if (dc.kind == RefKind::kName) {
+      return true;  // class name not interned: empty extent
+    }
+  }
+  // 2. A method filter with a resolvable method: use its receivers.
+  if (!driven) {
+    for (const Filter& f : t.filters) {
+      if (f.kind == FilterKind::kClass) continue;
+      std::optional<Oid> m = method_oid(f.method);
+      if (!m || I_.IsSelf(*m)) continue;
+      std::unordered_set<Oid> seen;
+      if (f.kind == FilterKind::kScalar) {
+        for (const ScalarEntry& e : I_.store().ScalarEntries(*m)) {
+          if (seen.insert(e.recv).second) candidates.push_back(e.recv);
+        }
+      } else {
+        for (const SetGroup& g : I_.store().SetGroups(*m)) {
+          if (seen.insert(g.recv).second) candidates.push_back(g.recv);
+        }
+      }
+      driven = true;
+      break;
+    }
+  }
+  // 3. A self filter with a fully bound value: its denotation is the
+  //    candidate set (e.g. X[self->mary]).
+  if (!driven) {
+    for (const Filter& f : t.filters) {
+      if (f.kind != FilterKind::kScalar || !f.args.empty()) continue;
+      std::optional<Oid> m = method_oid(f.method);
+      if (!m || !I_.IsSelf(*m)) continue;
+      if (!AllVarsBound(*f.value, *b)) continue;
+      Result<std::vector<Oid>> vals = EvalGround(*f.value, b);
+      if (!vals.ok()) return vals.status();
+      candidates = std::move(*vals);
+      driven = true;
+      break;
+    }
+  }
+  if (!driven) {
+    candidates.resize(I_.store().UniverseSize());
+    for (Oid o = 0; o < candidates.size(); ++o) candidates[o] = o;
+  }
+
+  for (Oid u0 : candidates) {
+    size_t mark = b->Mark();
+    b->Bind(base.text, u0);
+    Result<bool> r = CheckFilters(t.filters, 0, u0, b, [&]() -> Result<bool> {
+      ++emit_count_;
+      return emit(u0);
+    });
+    b->Undo(mark);
+    if (!r.ok() || !*r) return r;
+  }
+  return true;
+}
+
+Result<bool> RefEvaluator::CheckFilters(const std::vector<Filter>& filters,
+                                        size_t i, Oid u0, Bindings* b,
+                                        const Cont& cont) {
+  if (i == filters.size()) return cont();
+  return CheckFilter(filters[i], u0, b, [&]() -> Result<bool> {
+    return CheckFilters(filters, i + 1, u0, b, cont);
+  });
+}
+
+Result<bool> RefEvaluator::CheckFilter(const Filter& f, Oid u0, Bindings* b,
+                                       const Cont& cont) {
+  if (f.kind == FilterKind::kClass) {
+    const Ref& c = Deref(*f.value);
+    if (c.kind == RefKind::kVar && !b->IsBound(c.text)) {
+      const std::vector<Oid>& ancestors = I_.store().Ancestors(u0);
+      const std::vector<uint64_t>& gens = I_.store().AncestorGens(u0);
+      for (size_t i = 0; i < ancestors.size(); ++i) {
+        size_t mark = b->Mark();
+        b->Bind(c.text, ancestors[i]);
+        DeltaGuard guard(this, gens[i]);
+        Result<bool> r = cont();
+        b->Undo(mark);
+        if (!r.ok() || !*r) return r;
+      }
+      return true;
+    }
+    return Enumerate(*f.value, b, [&](Oid uc) -> Result<bool> {
+      if (!I_.IsA(u0, uc)) return true;
+      DeltaGuard guard(this, I_.store().IsaGen(u0, uc));
+      return cont();
+    });
+  }
+
+  return EnumMethod(*f.method, f.kind != FilterKind::kScalar, b,
+                    [&](Oid um) -> Result<bool> {
+    switch (f.kind) {
+      case FilterKind::kScalar: {
+        if (I_.IsSelf(um) && f.args.empty()) {
+          return MatchRef(*f.value, u0, b, cont);
+        }
+        if (I_.IsGuard(um)) {
+          std::vector<Oid> argv(f.args.size());
+          return EnumArgValues(f.args, 0, &argv, b, [&]() -> Result<bool> {
+            if (std::optional<Oid> r = I_.Scalar(um, u0, argv)) {
+              return MatchRef(*f.value, *r, b, cont);
+            }
+            return true;
+          });
+        }
+        const std::vector<uint32_t>& idxs =
+            I_.store().ScalarEntriesByRecv(um, u0);
+        const std::vector<ScalarEntry>& entries = I_.store().ScalarEntries(um);
+        for (uint32_t i : idxs) {
+          const ScalarEntry& e = entries[i];
+          if (e.args.size() != f.args.size()) continue;
+          DeltaGuard guard(this, e.gen);
+          Result<bool> r =
+              MatchArgs(f.args, e.args, 0, b, [&]() -> Result<bool> {
+                return MatchRef(*f.value, e.value, b, cont);
+              });
+          if (!r.ok() || !*r) return r;
+        }
+        return true;
+      }
+      case FilterKind::kSetRef: {
+        // Active-domain semantics: the specified set must be ground
+        // here and non-empty; stratification guarantees the producing
+        // methods are complete (engine/stratify).
+        if (!AllVarsBound(*f.value, *b)) {
+          return Status(UnsafeRule(StrCat(
+              "the result of a `->>` filter must be ground when checked; ",
+              ToString(*f.value),
+              " has unbound variables (reorder the rule body)")));
+        }
+        Result<std::vector<Oid>> spec = EvalGround(*f.value, b);
+        if (!spec.ok()) return spec.status();
+        if (spec->empty()) return true;  // no witness: filter fails
+        const std::vector<uint32_t>& idxs = I_.store().SetGroupsByRecv(um, u0);
+        const std::vector<SetGroup>& groups = I_.store().SetGroups(um);
+        for (uint32_t i : idxs) {
+          const SetGroup& g = groups[i];
+          if (g.args.size() != f.args.size()) continue;
+          Result<bool> r =
+              MatchArgs(f.args, g.args, 0, b, [&]() -> Result<bool> {
+                uint64_t newest = 0;
+                for (Oid s : *spec) {
+                  uint64_t mg = g.MemberGen(s);
+                  if (mg == UINT64_MAX) return true;  // not a subset
+                  newest = std::max(newest, mg);
+                }
+                // The subset test consumed |spec| membership facts; the
+                // newest one decides delta-ness.
+                DeltaGuard guard(this, newest);
+                return cont();
+              });
+          if (!r.ok() || !*r) return r;
+        }
+        return true;
+      }
+      case FilterKind::kSetEnum: {
+        const std::vector<uint32_t>& idxs = I_.store().SetGroupsByRecv(um, u0);
+        const std::vector<SetGroup>& groups = I_.store().SetGroups(um);
+        for (uint32_t i : idxs) {
+          const SetGroup& g = groups[i];
+          if (g.args.size() != f.args.size()) continue;
+          Result<bool> r =
+              MatchArgs(f.args, g.args, 0, b, [&]() -> Result<bool> {
+                return MatchSetElems(f.elems, 0, g, b, cont);
+              });
+          if (!r.ok() || !*r) return r;
+        }
+        return true;
+      }
+      case FilterKind::kClass:
+        break;  // unreachable
+    }
+    return Status(Internal("CheckFilter: unreachable"));
+  });
+}
+
+Result<bool> RefEvaluator::MatchSetElems(const std::vector<RefPtr>& elems,
+                                         size_t i, const SetGroup& group,
+                                         Bindings* b, const Cont& cont) {
+  if (i == elems.size()) return cont();
+  const Ref& e = Deref(*elems[i]);
+
+  // Fast path: the element resolves to one known object — a direct
+  // membership probe instead of a member scan.
+  std::optional<Oid> known;
+  if (e.kind == RefKind::kName) {
+    known = LookupName(I_.store(), e);
+    if (!known) return true;  // name denotes nothing here
+  } else if (e.kind == RefKind::kVar) {
+    known = b->Get(e.text);
+  }
+  if (known) {
+    uint64_t gen = group.MemberGen(*known);
+    if (gen == UINT64_MAX) return true;  // not a member
+    DeltaGuard guard(this, gen);
+    return MatchSetElems(elems, i + 1, group, b, cont);
+  }
+
+  // General case: drive from the group's members and match the element
+  // pattern against each — MatchRef pushes the member through molecule
+  // patterns like {Y:automobile[cylinders->4]} in O(filters), not
+  // O(extent).
+  for (size_t m = 0; m < group.members.size(); ++m) {
+    DeltaGuard guard(this, group.member_gens[m]);
+    Result<bool> r =
+        MatchRef(*elems[i], group.members[m], b, [&]() -> Result<bool> {
+          return MatchSetElems(elems, i + 1, group, b, cont);
+        });
+    if (!r.ok() || !*r) return r;
+  }
+  return true;
+}
+
+}  // namespace pathlog

@@ -1,0 +1,126 @@
+#include "eval/stratify.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+namespace {
+
+/// Iterative Tarjan SCC. Returns the SCC index of each node; SCCs are
+/// numbered in reverse topological order (every edge goes from a
+/// higher-or-equal SCC index to a lower-or-equal one... precisely: for
+/// an edge u->v in different SCCs, scc[v] < scc[u]).
+std::vector<int> TarjanScc(size_t n,
+                           const std::vector<std::vector<uint32_t>>& adj,
+                           int* num_sccs) {
+  std::vector<int> index(n, -1), low(n, 0), scc(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  int next_index = 0;
+  int next_scc = 0;
+
+  struct Frame {
+    uint32_t node;
+    size_t child;
+  };
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      uint32_t u = f.node;
+      if (f.child < adj[u].size()) {
+        uint32_t v = adj[u][f.child++];
+        if (index[v] == -1) {
+          index[v] = low[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back({v, 0});
+        } else if (on_stack[v]) {
+          low[u] = std::min(low[u], index[v]);
+        }
+      } else {
+        if (low[u] == index[u]) {
+          for (;;) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc[w] = next_scc;
+            if (w == u) break;
+          }
+          ++next_scc;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          uint32_t parent = frames.back().node;
+          low[parent] = std::min(low[parent], low[u]);
+        }
+      }
+    }
+  }
+  *num_sccs = next_scc;
+  return scc;
+}
+
+}  // namespace
+
+Result<Stratification> Stratify(const DependencyGraph& graph,
+                                size_t num_rules) {
+  const size_t n = graph.num_nodes();
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const DependencyGraph::Edge& e : graph.edges()) {
+    adj[e.from].push_back(e.to);
+  }
+  int num_sccs = 0;
+  std::vector<int> scc = TarjanScc(n, adj, &num_sccs);
+
+  // Reject needs-complete edges inside an SCC.
+  for (const DependencyGraph::Edge& e : graph.edges()) {
+    if (e.needs_complete && scc[e.from] == scc[e.to]) {
+      return Status(NotStratifiable(StrCat(
+          "method '", graph.NodeName(e.from),
+          "' recursively depends on the *complete* result set of '",
+          graph.NodeName(e.to),
+          "' (a set-valued reference or negation in a recursive cycle); "
+          "the program cannot be stratified")));
+    }
+  }
+
+  // Node strata via longest paths over the condensation. Tarjan's
+  // numbering is reverse-topological, so ascending SCC order visits
+  // successors first.
+  std::vector<int> scc_stratum(num_sccs, 0);
+  std::vector<std::vector<const DependencyGraph::Edge*>> by_from_scc(num_sccs);
+  for (const DependencyGraph::Edge& e : graph.edges()) {
+    if (scc[e.from] != scc[e.to]) {
+      by_from_scc[scc[e.from]].push_back(&e);
+    }
+  }
+  for (int s = 0; s < num_sccs; ++s) {
+    for (const DependencyGraph::Edge* e : by_from_scc[s]) {
+      int need = scc_stratum[scc[e->to]] + (e->needs_complete ? 1 : 0);
+      scc_stratum[s] = std::max(scc_stratum[s], need);
+    }
+  }
+
+  Stratification out;
+  out.rule_stratum.resize(num_rules, 0);
+  int max_stratum = 0;
+  for (size_t r = 0; r < num_rules; ++r) {
+    int stratum = 0;
+    for (uint32_t d : graph.rule_define_nodes()[r]) {
+      stratum = std::max(stratum, scc_stratum[scc[d]]);
+    }
+    out.rule_stratum[r] = stratum;
+    max_stratum = std::max(max_stratum, stratum);
+  }
+  out.num_strata = max_stratum + 1;
+  return out;
+}
+
+}  // namespace pathlog

@@ -1,0 +1,35 @@
+// Stratification (paper section 6, cf. [NT89]).
+//
+// A program is stratifiable iff no strongly connected component of the
+// method dependency graph contains a needs-complete edge: a method may
+// not (transitively) contribute to the very set whose completion its
+// derivation awaits. Programs that never use a set-valued reference as
+// the result of a `->>` filter in a body (and never negate) are always
+// stratifiable in a single stratum — "in all other cases the treatment
+// of sets in PathLog does not imply stratification".
+
+#ifndef PATHLOG_EVAL_STRATIFY_H_
+#define PATHLOG_EVAL_STRATIFY_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "eval/dependency.h"
+
+namespace pathlog {
+
+struct Stratification {
+  /// Stratum of each rule (parallel to the rule vector the graph was
+  /// built from). Rules are evaluated stratum by stratum, fixpoint
+  /// within each.
+  std::vector<int> rule_stratum;
+  int num_strata = 1;
+};
+
+/// Computes strata, or kNotStratifiable naming the offending cycle.
+Result<Stratification> Stratify(const DependencyGraph& graph,
+                                size_t num_rules);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_EVAL_STRATIFY_H_

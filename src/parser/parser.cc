@@ -1,0 +1,428 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "ast/analysis.h"
+#include "base/strings.h"
+#include "parser/lexer.h"
+
+namespace pathlog {
+
+namespace {
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program prog;
+    while (!Check(TokenKind::kEof)) {
+      PATHLOG_RETURN_IF_ERROR(ParseClause(&prog));
+    }
+    return prog;
+  }
+
+  Result<RefPtr> ParseSingleRef() {
+    PATHLOG_ASSIGN_OR_RETURN(RefPtr r, ParseRef());
+    // A trailing terminator dot is tolerated.
+    Match(TokenKind::kTermDot);
+    if (!Check(TokenKind::kEof)) {
+      return Error(StrCat("unexpected ", TokenKindName(Peek().kind),
+                          " after reference"));
+    }
+    return r;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    Program prog;
+    PATHLOG_RETURN_IF_ERROR(ParseClause(&prog));
+    if (!Check(TokenKind::kEof) || prog.rules.size() != 1 ||
+        !prog.queries.empty() || !prog.signatures.empty()) {
+      return Status(ParseError("expected exactly one rule clause"));
+    }
+    return std::move(prog.rules[0]);
+  }
+
+  Result<Query> ParseSingleQuery() {
+    Query q;
+    Match(TokenKind::kQuery);  // optional
+    PATHLOG_RETURN_IF_ERROR(ParseLiterals(&q.body));
+    Match(TokenKind::kTermDot);  // optional for queries
+    if (!Check(TokenKind::kEof)) {
+      return Status(
+          Error(StrCat("unexpected ", TokenKindName(Peek().kind),
+                       " after query")));
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenKind kind, std::string_view context) {
+    if (Match(kind)) return Status::OK();
+    return Error(StrCat("expected ", TokenKindName(kind), " ", context,
+                        ", got ", TokenKindName(Peek().kind)));
+  }
+  Status Error(std::string_view what) const {
+    const Token& t = Peek();
+    return ParseError(
+        StrCat("line ", t.line, ", column ", t.column, ": ", what));
+  }
+
+  // --- clauses --------------------------------------------------------
+
+  Status ParseClause(Program* prog) {
+    if (Match(TokenKind::kQuery)) {
+      Query q;
+      PATHLOG_RETURN_IF_ERROR(ParseLiterals(&q.body));
+      PATHLOG_RETURN_IF_ERROR(
+          Expect(TokenKind::kTermDot, "at end of query"));
+      prog->queries.push_back(std::move(q));
+      return Status::OK();
+    }
+    if (IsSignatureClauseAhead()) {
+      return ParseSignatureClause(prog);
+    }
+    Rule rule;
+    {
+      Result<RefPtr> head = ParseRef();
+      if (!head.ok()) return head.status();
+      rule.head = std::move(*head);
+    }
+    bool is_trigger = false;
+    if (Match(TokenKind::kIf)) {
+      PATHLOG_RETURN_IF_ERROR(ParseLiterals(&rule.body));
+    } else if (Match(TokenKind::kOn)) {
+      is_trigger = true;
+      PATHLOG_RETURN_IF_ERROR(ParseLiterals(&rule.body));
+    }
+    PATHLOG_RETURN_IF_ERROR(Expect(TokenKind::kTermDot, "at end of clause"));
+    if (is_trigger) {
+      prog->triggers.push_back(TriggerRule{std::move(rule)});
+    } else {
+      prog->rules.push_back(std::move(rule));
+    }
+    return Status::OK();
+  }
+
+  Status ParseLiterals(std::vector<Literal>* out) {
+    do {
+      Literal lit;
+      lit.negated = Match(TokenKind::kNot);
+      Result<RefPtr> r = ParseRef();
+      if (!r.ok()) return r.status();
+      lit.ref = std::move(*r);
+      out->push_back(std::move(lit));
+    } while (Match(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  /// Lookahead: simple ref followed by a bracket group containing a
+  /// signature arrow at depth 1.
+  bool IsSignatureClauseAhead() const {
+    size_t i = pos_;
+    // simple: name/var, or balanced parens.
+    if (tokens_[i].kind == TokenKind::kName ||
+        tokens_[i].kind == TokenKind::kVar) {
+      ++i;
+    } else if (tokens_[i].kind == TokenKind::kLParen) {
+      int depth = 0;
+      while (i < tokens_.size() && tokens_[i].kind != TokenKind::kEof) {
+        if (tokens_[i].kind == TokenKind::kLParen) ++depth;
+        if (tokens_[i].kind == TokenKind::kRParen && --depth == 0) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+    } else {
+      return false;
+    }
+    if (i >= tokens_.size() || tokens_[i].kind != TokenKind::kLBracket) {
+      return false;
+    }
+    int depth = 0;
+    for (; i < tokens_.size() && tokens_[i].kind != TokenKind::kEof; ++i) {
+      switch (tokens_[i].kind) {
+        case TokenKind::kLBracket:
+          ++depth;
+          break;
+        case TokenKind::kRBracket:
+          if (--depth == 0) return false;
+          break;
+        case TokenKind::kSigArrow:
+        case TokenKind::kSigDArrow:
+          if (depth == 1) return true;
+          break;
+        case TokenKind::kTermDot:
+          return false;
+        default:
+          break;
+      }
+    }
+    return false;
+  }
+
+  Status ParseSignatureClause(Program* prog) {
+    PATHLOG_ASSIGN_OR_RETURN(RefPtr klass, ParseSimple("signature class"));
+    PATHLOG_RETURN_IF_ERROR(
+        Expect(TokenKind::kLBracket, "in signature declaration"));
+    do {
+      SignatureDecl sig;
+      sig.klass = klass;
+      PATHLOG_ASSIGN_OR_RETURN(sig.method, ParseSimple("signature method"));
+      if (Check(TokenKind::kAt)) {
+        PATHLOG_RETURN_IF_ERROR(ParseArgs(&sig.arg_types));
+      }
+      if (Match(TokenKind::kSigDArrow)) {
+        sig.set_valued = true;
+      } else {
+        PATHLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kSigArrow, "in signature declaration"));
+      }
+      PATHLOG_ASSIGN_OR_RETURN(sig.result_type,
+                               ParseSimple("signature result type"));
+      prog->signatures.push_back(std::move(sig));
+    } while (Match(TokenKind::kSemicolon));
+    PATHLOG_RETURN_IF_ERROR(
+        Expect(TokenKind::kRBracket, "after signature declarations"));
+    return Expect(TokenKind::kTermDot, "at end of signature clause");
+  }
+
+  // --- references -----------------------------------------------------
+
+  /// Recursion guards: references nest through (), [], {} and @(), and
+  /// chain through postfix steps; both are bounded so that no later
+  /// recursive pass (analysis, printing, evaluation) can overflow the
+  /// stack on hostile input. Far above anything a real program writes.
+  static constexpr int kMaxNestingDepth = 500;
+  static constexpr int kMaxPostfixSteps = 1000;
+
+  class DepthGuard {
+   public:
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    bool ok() const { return *depth_ <= kMaxNestingDepth; }
+
+   private:
+    int* depth_;
+  };
+
+  Result<RefPtr> ParseRef() {
+    DepthGuard guard(&depth_);
+    if (!guard.ok()) {
+      return Status(Error(StrCat("references nested deeper than ",
+                                 kMaxNestingDepth, " levels")));
+    }
+    PATHLOG_ASSIGN_OR_RETURN(RefPtr r, ParsePrimary());
+    // Consecutive filter postfixes (`[...]`, `:c`) accumulate into one
+    // molecule node — `t[f1][f2]`, `t[f1; f2]` and `t[f1]:c` are the
+    // same molecule (paper section 4.1), and the flat form makes the
+    // printer/parser round-trip canonical.
+    bool molecule_chain = false;
+    int steps = 0;
+    auto append_filters = [&r](std::vector<Filter> filters, bool chained) {
+      if (chained) {
+        std::vector<Filter> combined = r->filters;
+        for (Filter& f : filters) combined.push_back(std::move(f));
+        r = Ref::Molecule(r->base, std::move(combined));
+      } else {
+        r = Ref::Molecule(std::move(r), std::move(filters));
+      }
+    };
+    for (;;) {
+      if (++steps > kMaxPostfixSteps) {
+        return Status(Error(StrCat("reference chains more than ",
+                                   kMaxPostfixSteps, " postfix steps")));
+      }
+      if (Match(TokenKind::kPathDot)) {
+        PATHLOG_ASSIGN_OR_RETURN(RefPtr m, ParseSimple("path method"));
+        std::vector<RefPtr> args;
+        if (Check(TokenKind::kAt)) {
+          PATHLOG_RETURN_IF_ERROR(ParseArgs(&args));
+        }
+        r = Ref::ScalarPath(std::move(r), std::move(m), std::move(args));
+        molecule_chain = false;
+      } else if (Match(TokenKind::kDotDot)) {
+        PATHLOG_ASSIGN_OR_RETURN(RefPtr m, ParseSimple("path method"));
+        std::vector<RefPtr> args;
+        if (Check(TokenKind::kAt)) {
+          PATHLOG_RETURN_IF_ERROR(ParseArgs(&args));
+        }
+        r = Ref::SetPath(std::move(r), std::move(m), std::move(args));
+        molecule_chain = false;
+      } else if (Match(TokenKind::kLBracket)) {
+        std::vector<Filter> filters;
+        do {
+          PATHLOG_ASSIGN_OR_RETURN(Filter f, ParseFilter());
+          filters.push_back(std::move(f));
+        } while (Match(TokenKind::kSemicolon));
+        PATHLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kRBracket, "after filter list"));
+        append_filters(std::move(filters), molecule_chain);
+        molecule_chain = true;
+      } else if (Match(TokenKind::kColon)) {
+        PATHLOG_ASSIGN_OR_RETURN(RefPtr c, ParseSimple("class"));
+        append_filters({Ref::ClassFilter(std::move(c))}, molecule_chain);
+        molecule_chain = true;
+      } else {
+        return r;
+      }
+    }
+  }
+
+  Result<RefPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kName:
+        Advance();
+        return Ref::Name(t.text);
+      case TokenKind::kInt:
+        Advance();
+        return Ref::Int(t.int_value);
+      case TokenKind::kString:
+        Advance();
+        return Ref::Str(t.text);
+      case TokenKind::kVar:
+        Advance();
+        return Ref::Var(t.text);
+      case TokenKind::kLParen: {
+        Advance();
+        PATHLOG_ASSIGN_OR_RETURN(RefPtr inner, ParseRef());
+        PATHLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kRParen, "after bracketed reference"));
+        return Ref::Paren(std::move(inner));
+      }
+      default:
+        return Status(Error(StrCat("expected a reference, got ",
+                                   TokenKindName(t.kind))));
+    }
+  }
+
+  Result<RefPtr> ParseSimple(std::string_view context) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kName:
+        Advance();
+        return Ref::Name(t.text);
+      case TokenKind::kVar:
+        Advance();
+        return Ref::Var(t.text);
+      case TokenKind::kInt:
+        Advance();
+        return Ref::Int(t.int_value);
+      case TokenKind::kString:
+        Advance();
+        return Ref::Str(t.text);
+      case TokenKind::kLParen: {
+        Advance();
+        PATHLOG_ASSIGN_OR_RETURN(RefPtr inner, ParseRef());
+        PATHLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kRParen, "after bracketed reference"));
+        return Ref::Paren(std::move(inner));
+      }
+      default:
+        return Status(Error(StrCat("expected a simple reference as ", context,
+                                   ", got ", TokenKindName(t.kind))));
+    }
+  }
+
+  Status ParseArgs(std::vector<RefPtr>* out) {
+    PATHLOG_RETURN_IF_ERROR(Expect(TokenKind::kAt, "before argument list"));
+    PATHLOG_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after '@'"));
+    do {
+      PATHLOG_ASSIGN_OR_RETURN(RefPtr a, ParseRef());
+      out->push_back(std::move(a));
+    } while (Match(TokenKind::kComma));
+    return Expect(TokenKind::kRParen, "after argument list");
+  }
+
+  Result<Filter> ParseFilter() {
+    PATHLOG_ASSIGN_OR_RETURN(RefPtr head, ParseRef());
+    std::vector<RefPtr> args;
+    if (Check(TokenKind::kAt)) {
+      PATHLOG_RETURN_IF_ERROR(ParseArgs(&args));
+    }
+    if (Match(TokenKind::kArrow)) {
+      PATHLOG_ASSIGN_OR_RETURN(RefPtr value, ParseRef());
+      return Ref::ScalarFilter(std::move(head), std::move(value),
+                               std::move(args));
+    }
+    if (Match(TokenKind::kDArrow)) {
+      if (Match(TokenKind::kLBrace)) {
+        std::vector<RefPtr> elems;
+        do {
+          PATHLOG_ASSIGN_OR_RETURN(RefPtr e, ParseRef());
+          elems.push_back(std::move(e));
+        } while (Match(TokenKind::kComma));
+        PATHLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kRBrace, "after explicit set"));
+        return Ref::SetEnumFilter(std::move(head), std::move(elems),
+                                  std::move(args));
+      }
+      PATHLOG_ASSIGN_OR_RETURN(RefPtr value, ParseRef());
+      return Ref::SetRefFilter(std::move(head), std::move(value),
+                               std::move(args));
+    }
+    if (Check(TokenKind::kSigArrow) || Check(TokenKind::kSigDArrow)) {
+      return Status(Error(
+          "signature arrows are only allowed in top-level signature "
+          "declarations (class[m => type].)"));
+    }
+    // Selector: `[t]` abbreviates `[self->t]`.
+    if (!args.empty()) {
+      return Status(
+          Error("selector filter cannot take '@(...)' arguments"));
+    }
+    return Ref::ScalarFilter(Ref::Name(kSelfMethodName), std::move(head));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+Result<ParserImpl> MakeParser(std::string_view source) {
+  Result<std::vector<Token>> toks = Tokenize(source);
+  if (!toks.ok()) return toks.status();
+  return ParserImpl(std::move(*toks));
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source) {
+  PATHLOG_ASSIGN_OR_RETURN(ParserImpl parser, MakeParser(source));
+  return parser.ParseProgram();
+}
+
+Result<RefPtr> ParseRef(std::string_view source) {
+  PATHLOG_ASSIGN_OR_RETURN(ParserImpl parser, MakeParser(source));
+  return parser.ParseSingleRef();
+}
+
+Result<Rule> ParseRule(std::string_view source) {
+  PATHLOG_ASSIGN_OR_RETURN(ParserImpl parser, MakeParser(source));
+  return parser.ParseSingleRule();
+}
+
+Result<Query> ParseQuery(std::string_view source) {
+  PATHLOG_ASSIGN_OR_RETURN(ParserImpl parser, MakeParser(source));
+  return parser.ParseSingleQuery();
+}
+
+}  // namespace pathlog

@@ -1,0 +1,49 @@
+// Recursive-descent parser for PathLog programs, clauses, and
+// references. Grammar (after lexing, cf. lexer.h for the dot rule):
+//
+//   program   := clause*
+//   clause    := sigclause | rule | query
+//   sigclause := simple '[' sig (';' sig)* ']' '.'
+//   sig       := simple args? ('=>' | '=>>') simple
+//   rule      := ref ('<-' literals)? '.'
+//   query     := '?-' literals '.'
+//   literals  := literal (',' literal)*
+//   literal   := 'not'? ref
+//   ref       := primary postfix*
+//   postfix   := '.' simple args? | '..' simple args?
+//              | '[' filter (';' filter)* ']' | ':' simple
+//   primary   := name | int | string | var | '(' ref ')'
+//   simple    := name | var | '(' ref ')'
+//   args      := '@(' ref (',' ref)* ')'
+//   filter    := ref args? ('->' ref | '->>' setOrRef)?   // no arrow: selector
+//   setOrRef  := '{' ref (',' ref)* '}' | ref
+//
+// The selector form `[t]` abbreviates `[self->t]` (XSQL-style selectors,
+// paper section 4.1).
+
+#ifndef PATHLOG_PARSER_PARSER_H_
+#define PATHLOG_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "ast/program.h"
+#include "ast/ref.h"
+#include "base/result.h"
+
+namespace pathlog {
+
+/// Parses a whole program (facts, rules, queries, signatures).
+Result<Program> ParseProgram(std::string_view source);
+
+/// Parses a single reference; the input must contain nothing else.
+Result<RefPtr> ParseRef(std::string_view source);
+
+/// Parses a single rule or fact clause ("head <- body." or "head.").
+Result<Rule> ParseRule(std::string_view source);
+
+/// Parses a single query clause ("?- body." — the "?-" may be omitted).
+Result<Query> ParseQuery(std::string_view source);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_PARSER_PARSER_H_

@@ -1,0 +1,375 @@
+#include "query/database.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <set>
+
+#include "ast/analysis.h"
+#include "ast/printer.h"
+#include "base/strings.h"
+#include "eval/ref_eval.h"
+#include "parser/parser.h"
+#include "query/planner.h"
+#include "semantics/structure.h"
+#include "store/fact.h"
+#include "store/snapshot.h"
+
+namespace pathlog {
+
+Database::Database() : Database(DatabaseOptions{}) {}
+
+Database::Database(DatabaseOptions options) : options_(options) {
+  // The built-in method and the structural type names always exist.
+  store_.InternSymbol(kSelfMethodName);
+  store_.InternSymbol(kAnyTypeName);
+  store_.InternSymbol(kIntTypeName);
+  store_.InternSymbol(kStringTypeName);
+}
+
+void Database::InternNames(const Ref& t) {
+  switch (t.kind) {
+    case RefKind::kName:
+      switch (t.name_kind) {
+        case NameKind::kSymbol:
+          store_.InternSymbol(t.text);
+          break;
+        case NameKind::kInt:
+          store_.InternInt(t.int_value);
+          break;
+        case NameKind::kString:
+          store_.InternString(t.text);
+          break;
+      }
+      return;
+    case RefKind::kVar:
+      return;
+    case RefKind::kParen:
+      InternNames(*t.base);
+      return;
+    case RefKind::kPath:
+      InternNames(*t.base);
+      InternNames(*t.method);
+      for (const RefPtr& a : t.args) InternNames(*a);
+      return;
+    case RefKind::kMolecule:
+      InternNames(*t.base);
+      for (const Filter& f : t.filters) {
+        if (f.method) InternNames(*f.method);
+        for (const RefPtr& a : f.args) InternNames(*a);
+        if (f.value) InternNames(*f.value);
+        for (const RefPtr& e : f.elems) InternNames(*e);
+      }
+      return;
+  }
+}
+
+Status Database::Load(std::string_view program_text) {
+  Result<Program> program = ParseProgram(program_text);
+  if (!program.ok()) return program.status();
+  return LoadProgram(*program);
+}
+
+Status Database::LoadProgram(const Program& program) {
+  if (!program.queries.empty()) {
+    return InvalidArgument(
+        "programs loaded into a Database must not contain `?-` queries; "
+        "run them with Database::Query");
+  }
+  for (const SignatureDecl& sig : program.signatures) {
+    PATHLOG_RETURN_IF_ERROR(signatures_.Declare(sig, &store_));
+    signature_text_ += ToString(sig);
+    signature_text_ += "\n";
+  }
+  for (const TriggerRule& trigger : program.triggers) {
+    PATHLOG_RETURN_IF_ERROR(CheckTriggerWellFormed(trigger));
+    InternNames(*trigger.rule.head);
+    for (const Literal& lit : trigger.rule.body) InternNames(*lit.ref);
+    triggers_.push_back(trigger);
+  }
+  for (const Rule& rule : program.rules) {
+    PATHLOG_RETURN_IF_ERROR(CheckRuleWellFormed(rule));
+    InternNames(*rule.head);
+    for (const Literal& lit : rule.body) InternNames(*lit.ref);
+    if (rule.IsFact()) {
+      HeadAsserter asserter(&store_, options_.engine.head_value_mode);
+      Bindings empty;
+      PATHLOG_RETURN_IF_ERROR(asserter.Assert(*rule.head, &empty));
+    } else {
+      rules_.push_back(rule);
+    }
+  }
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status Database::Materialize() {
+  Engine engine(&store_, options_.engine);
+  PATHLOG_RETURN_IF_ERROR(engine.AddRules(rules_));
+  PATHLOG_RETURN_IF_ERROR(engine.Run());
+  last_stats_ = engine.stats();
+  if (options_.engine.trace_provenance) {
+    const std::vector<DerivationRecord>& records = engine.provenance();
+    provenance_.insert(provenance_.end(), records.begin(), records.end());
+  }
+  dirty_ = false;
+  if (options_.fire_triggers_on_materialize && !triggers_.empty()) {
+    PATHLOG_RETURN_IF_ERROR(FireTriggers());
+  }
+  if (options_.type_check_after_materialize && !signatures_.empty()) {
+    TypeChecker checker(store_, signatures_);
+    std::vector<TypeViolation> violations;
+    checker.CheckSince(type_check_watermark_, &violations);
+    type_check_watermark_ = store_.generation();
+    if (!violations.empty()) {
+      return TypeError(StrCat(violations[0].message,
+                              violations.size() > 1
+                                  ? StrCat(" (and ", violations.size() - 1,
+                                           " more violations)")
+                                  : ""));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> Database::Query(std::string_view query_text) {
+  Result<struct Query> q = ParseQuery(query_text);
+  if (!q.ok()) return q.status();
+  return RunQuery(*q);
+}
+
+Result<ResultSet> Database::RunQuery(const struct Query& query) {
+  if (dirty_) {
+    PATHLOG_RETURN_IF_ERROR(Materialize());
+  }
+  std::vector<Literal> body = query.body;
+  std::set<std::string> user_vars;
+  for (const Literal& lit : body) {
+    PATHLOG_RETURN_IF_ERROR(CheckWellFormed(*lit.ref));
+    InternNames(*lit.ref);
+    // Variables occurring only under negation are existential inside
+    // the negated literal and are not answer variables.
+    if (lit.negated) continue;
+    for (const std::string& v : VarsOf(*lit.ref)) user_vars.insert(v);
+  }
+  PATHLOG_RETURN_IF_ERROR(PlanConjunction(&body, store_, nullptr));
+
+  std::vector<std::string> vars(user_vars.begin(), user_vars.end());
+  ResultSet result(vars);
+
+  SemanticStructure I(store_);
+  RefEvaluator eval(I);
+  Bindings b;
+  std::function<Result<bool>(size_t)> go = [&](size_t i) -> Result<bool> {
+    if (i == body.size()) {
+      std::vector<Oid> row;
+      row.reserve(vars.size());
+      for (const std::string& v : vars) {
+        std::optional<Oid> o = b.Get(v);
+        if (!o) {
+          return Status(UnsafeRule(StrCat(
+              "query variable ", v,
+              " occurs only under negation and is never bound")));
+        }
+        row.push_back(*o);
+      }
+      result.AddRow(std::move(row));
+      return true;
+    }
+    const Literal& lit = body[i];
+    if (lit.negated) {
+      Result<bool> sat = eval.Satisfiable(*lit.ref, &b);
+      if (!sat.ok()) return sat.status();
+      if (*sat) return true;
+      return go(i + 1);
+    }
+    return eval.Enumerate(*lit.ref, &b, [&](Oid) { return go(i + 1); });
+  };
+  Result<bool> r = go(0);
+  if (!r.ok()) return r.status();
+  result.Dedup();
+  return result;
+}
+
+Result<std::string> Database::ExplainQuery(std::string_view query_text) {
+  Result<struct Query> q = ParseQuery(query_text);
+  if (!q.ok()) return q.status();
+  if (dirty_) {
+    PATHLOG_RETURN_IF_ERROR(Materialize());
+  }
+  std::vector<Literal> body = q->body;
+  for (const Literal& lit : body) {
+    PATHLOG_RETURN_IF_ERROR(CheckWellFormed(*lit.ref));
+    InternNames(*lit.ref);
+  }
+  std::vector<std::string> log;
+  PATHLOG_RETURN_IF_ERROR(PlanConjunction(&body, store_, &log));
+  std::string out = "plan:\n";
+  for (size_t i = 0; i < log.size(); ++i) {
+    out += StrCat("  ", i + 1, ". ", log[i], "\n");
+  }
+  return out;
+}
+
+Result<std::vector<Oid>> Database::Eval(std::string_view ref_text) {
+  Result<RefPtr> ref = ParseRef(ref_text);
+  if (!ref.ok()) return ref.status();
+  PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
+  InternNames(**ref);
+  if (dirty_) {
+    PATHLOG_RETURN_IF_ERROR(Materialize());
+  }
+  SemanticStructure I(store_);
+  RefEvaluator eval(I);
+  Bindings b;
+  std::vector<Oid> out;
+  Result<bool> r = eval.Enumerate(**ref, &b, [&](Oid o) -> Result<bool> {
+    out.push_back(o);
+    return true;
+  });
+  if (!r.ok()) return r.status();
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<bool> Database::Holds(std::string_view ref_text) {
+  Result<RefPtr> ref = ParseRef(ref_text);
+  if (!ref.ok()) return ref.status();
+  PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
+  InternNames(**ref);
+  if (dirty_) {
+    PATHLOG_RETURN_IF_ERROR(Materialize());
+  }
+  SemanticStructure I(store_);
+  RefEvaluator eval(I);
+  Bindings b;
+  return eval.Satisfiable(**ref, &b);
+}
+
+Status Database::TypeCheck(std::vector<TypeViolation>* violations) const {
+  TypeChecker checker(store_, signatures_);
+  checker.CheckAll(violations);
+  return Status::OK();
+}
+
+Status Database::FireTriggers() {
+  TriggerEngine engine(&store_, trigger_watermark_, options_.triggers);
+  for (const TriggerRule& t : triggers_) {
+    PATHLOG_RETURN_IF_ERROR(engine.AddTrigger(t));
+  }
+  Status st = engine.Fire();
+  trigger_watermark_ = engine.watermark();
+  trigger_stats_.rounds += engine.stats().rounds;
+  trigger_stats_.firings += engine.stats().firings;
+  trigger_stats_.facts_added += engine.stats().facts_added;
+  return st;
+}
+
+Status Database::SaveSnapshotFile(const std::string& path) const {
+  std::string store_bytes = SerializeSnapshot(store_);
+  std::string program;
+  {
+    Program prog;
+    prog.rules = rules_;
+    prog.triggers = triggers_;
+    program = ToString(prog);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return InvalidArgument(StrCat("cannot open ", path, " for writing"));
+  }
+  auto put_u64 = [&out](uint64_t v) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+    out.write(buf, 8);
+  };
+  put_u64(store_bytes.size());
+  out.write(store_bytes.data(),
+            static_cast<std::streamsize>(store_bytes.size()));
+  put_u64(program.size());
+  out.write(program.data(), static_cast<std::streamsize>(program.size()));
+  put_u64(signature_text_.size());
+  out.write(signature_text_.data(),
+            static_cast<std::streamsize>(signature_text_.size()));
+  put_u64(trigger_watermark_);
+  if (!out) {
+    return InvalidArgument(StrCat("failed writing snapshot to ", path));
+  }
+  return Status::OK();
+}
+
+Result<Database> Database::LoadSnapshotFile(const std::string& path,
+                                            DatabaseOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(NotFound(StrCat("cannot open snapshot file ", path)));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  size_t pos = 0;
+  auto get_u64 = [&](uint64_t* v) {
+    if (bytes.size() - pos < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[pos + i]))
+            << (8 * i);
+    }
+    pos += 8;
+    return true;
+  };
+  auto get_blob = [&](std::string* blob) {
+    uint64_t len = 0;
+    if (!get_u64(&len) || bytes.size() - pos < len) return false;
+    blob->assign(bytes, pos, len);
+    pos += len;
+    return true;
+  };
+  std::string store_bytes, rules_text, sig_text;
+  uint64_t trigger_watermark = 0;
+  if (!get_blob(&store_bytes) || !get_blob(&rules_text) ||
+      !get_blob(&sig_text) || !get_u64(&trigger_watermark) ||
+      pos != bytes.size()) {
+    return Status(
+        InvalidArgument(StrCat(path, ": corrupt database snapshot")));
+  }
+
+  Database db(options);
+  Result<ObjectStore> store = DeserializeSnapshot(store_bytes);
+  if (!store.ok()) return store.status();
+  db.store_ = std::move(*store);
+  PATHLOG_RETURN_IF_ERROR(db.Load(sig_text));
+  PATHLOG_RETURN_IF_ERROR(db.Load(rules_text));
+  db.trigger_watermark_ =
+      std::min(trigger_watermark, db.store_.generation());
+  return db;
+}
+
+std::string Database::ExplainFact(uint64_t gen) const {
+  if (gen >= store_.generation()) {
+    return "no such fact.";
+  }
+  // Records are ordered by first_gen; find the covering one.
+  auto it = std::upper_bound(
+      provenance_.begin(), provenance_.end(), gen,
+      [](uint64_t g, const DerivationRecord& r) { return g < r.first_gen; });
+  if (it != provenance_.begin()) {
+    const DerivationRecord& r = *std::prev(it);
+    if (gen < r.end_gen && r.rule_index < rules_.size()) {
+      std::string out =
+          StrCat(FactToString(store_.FactAt(gen), store_),
+                 "\n  derived by rule: ", ToString(rules_[r.rule_index]));
+      if (!r.bindings.empty()) {
+        out += "\n  with";
+        for (const auto& [var, oid] : r.bindings) {
+          out += StrCat(" ", var, "=", store_.DisplayName(oid));
+        }
+      }
+      return out;
+    }
+  }
+  return StrCat(FactToString(store_.FactAt(gen), store_),
+                "\n  extensional (asserted directly).");
+}
+
+}  // namespace pathlog

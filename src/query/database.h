@@ -1,0 +1,141 @@
+// The user-facing PathLog database: parse programs, materialise rules,
+// answer queries. This is the library's primary entry point; see
+// examples/quickstart.cc.
+//
+//   Database db;
+//   db.Load("p1 : employee. p1[salary->1000].") -> Status
+//   db.Load("X[desc->>{Y}] <- X[kids->>{Y}].")  (rules trigger lazy
+//                                                re-materialisation)
+//   db.Query("?- X:employee[salary->S].")       -> ResultSet {X, S}
+//   db.Eval("p1..assistants.salary")            -> objects denoted
+//   db.Holds("p1[salary->1000]")                -> bool
+
+#ifndef PATHLOG_QUERY_DATABASE_H_
+#define PATHLOG_QUERY_DATABASE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "active/trigger_engine.h"
+#include "ast/program.h"
+#include "base/result.h"
+#include "eval/engine.h"
+#include "query/result_set.h"
+#include "store/object_store.h"
+#include "types/signature.h"
+#include "types/type_check.h"
+
+namespace pathlog {
+
+struct DatabaseOptions {
+  EngineOptions engine;
+  TriggerOptions triggers;
+  /// Run the type checker over newly derived facts after every
+  /// materialisation and fail on violations.
+  bool type_check_after_materialize = false;
+  /// Fire active rules automatically as part of every materialisation
+  /// (after the deductive fixpoint). Off: call FireTriggers() manually.
+  bool fire_triggers_on_materialize = false;
+};
+
+class Database {
+ public:
+  Database();
+  explicit Database(DatabaseOptions options);
+
+  /// Parses and installs a program: facts are asserted immediately,
+  /// rules and signatures are registered, and any `?-` queries in the
+  /// text are rejected (use Query()). Names are interned eagerly.
+  Status Load(std::string_view program_text);
+
+  /// Installs an already-parsed program (same semantics as Load).
+  Status LoadProgram(const Program& program);
+
+  /// Answers a conjunctive query; variables are reported in name order.
+  /// Re-materialises first if rules/facts changed since the last run.
+  /// Literals execute in the order chosen by the cost planner
+  /// (query/planner.h).
+  Result<ResultSet> Query(std::string_view query_text);
+  Result<ResultSet> RunQuery(const struct Query& query);
+
+  /// The execution plan for a query, without running it: one line per
+  /// literal in chosen order with the planner's cardinality estimate.
+  Result<std::string> ExplainQuery(std::string_view query_text);
+
+  /// Evaluates a reference (variables allowed but must be bindable from
+  /// the reference itself); returns the denoted objects.
+  Result<std::vector<Oid>> Eval(std::string_view ref_text);
+
+  /// Active-domain entailment of a reference used as a formula.
+  Result<bool> Holds(std::string_view ref_text);
+
+  /// Runs the deductive engine now (otherwise it runs lazily on the
+  /// first Query/Eval/Holds after a change).
+  Status Materialize();
+
+  /// Fires active rules (`head <~ event, conditions.`) over every fact
+  /// appended since the last firing, cascading to quiescence. The fact
+  /// log is the event stream: extensional and derived facts alike.
+  Status FireTriggers();
+
+  const TriggerStats& trigger_stats() const { return trigger_stats_; }
+  size_t num_triggers() const { return triggers_.size(); }
+
+  /// Type-checks the whole store against the declared signatures.
+  Status TypeCheck(std::vector<TypeViolation>* violations) const;
+
+  /// Explains how the fact with generation `gen` came to be:
+  /// "extensional." for directly asserted facts; otherwise the deriving
+  /// rule and the head bindings of the producing instance. Only
+  /// meaningful when options.engine.trace_provenance is set.
+  std::string ExplainFact(uint64_t gen) const;
+
+  /// All derivation records accumulated across materialisations.
+  const std::vector<DerivationRecord>& provenance() const {
+    return provenance_;
+  }
+
+  /// Persists the whole database — object store (including anonymous
+  /// virtual objects), rules and signatures — to a binary file.
+  Status SaveSnapshotFile(const std::string& path) const;
+
+  /// Restores a database saved with SaveSnapshotFile. The restored
+  /// database re-materialises lazily on the first query (rules replay
+  /// idempotently over the restored facts).
+  static Result<Database> LoadSnapshotFile(const std::string& path,
+                                           DatabaseOptions options = {});
+
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+  const SignatureTable& signatures() const { return signatures_; }
+  const EngineStats& engine_stats() const { return last_stats_; }
+  size_t num_rules() const { return rules_.size(); }
+  /// The installed (non-fact) rules, in load order.
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  const std::string& DisplayName(Oid o) const { return store_.DisplayName(o); }
+
+ private:
+  /// Interns every name occurring in a reference so later evaluation
+  /// can resolve it (queries may mention names no fact ever used).
+  void InternNames(const Ref& t);
+
+  DatabaseOptions options_;
+  ObjectStore store_;
+  SignatureTable signatures_;
+  std::vector<Rule> rules_;
+  std::vector<TriggerRule> triggers_;
+  uint64_t trigger_watermark_ = 0;
+  TriggerStats trigger_stats_;
+  /// Declared signatures re-rendered as loadable text (for snapshots).
+  std::string signature_text_;
+  std::vector<DerivationRecord> provenance_;
+  EngineStats last_stats_;
+  bool dirty_ = false;
+  uint64_t type_check_watermark_ = 0;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_QUERY_DATABASE_H_

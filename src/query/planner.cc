@@ -1,0 +1,182 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ast/analysis.h"
+#include "ast/printer.h"
+#include "base/strings.h"
+#include "eval/engine.h"
+#include "semantics/structure.h"
+
+namespace pathlog {
+
+namespace {
+
+const Ref& Deref(const Ref& t) {
+  const Ref* p = &t;
+  while (p->kind == RefKind::kParen) p = p->base.get();
+  return *p;
+}
+
+std::optional<Oid> ResolveName(const Ref& t, const ObjectStore& store) {
+  switch (t.name_kind) {
+    case NameKind::kSymbol:
+      return store.FindSymbol(t.text);
+    case NameKind::kInt:
+      return store.FindInt(t.int_value);
+    case NameKind::kString:
+      return store.FindString(t.text);
+  }
+  return std::nullopt;
+}
+
+/// Cardinality the evaluator's molecule driver would enumerate for an
+/// unbound-variable base with these filters.
+double DriverCardinality(const std::vector<Filter>& filters,
+                         const std::set<std::string>& bound,
+                         const ObjectStore& store) {
+  auto resolvable = [&](const RefPtr& m) -> std::optional<Oid> {
+    const Ref& d = Deref(*m);
+    if (d.kind == RefKind::kName) return ResolveName(d, store);
+    if (d.kind == RefKind::kVar && bound.count(d.text)) {
+      // Bound at runtime, unknown here; assume a typical method.
+      return std::nullopt;
+    }
+    return std::nullopt;
+  };
+  // Mirror ref_eval's driver preference: class extent first.
+  for (const Filter& f : filters) {
+    if (f.kind != FilterKind::kClass) continue;
+    if (std::optional<Oid> c = resolvable(f.value)) {
+      return static_cast<double>(store.Members(*c).size());
+    }
+  }
+  for (const Filter& f : filters) {
+    if (f.kind == FilterKind::kClass) continue;
+    if (std::optional<Oid> m = resolvable(f.method)) {
+      // Built-ins (self, guards) have no extent to drive from.
+      if (store.kind(*m) == ObjectKind::kSymbol &&
+          IsBuiltinMethodName(store.DisplayName(*m))) {
+        continue;
+      }
+      if (f.kind == FilterKind::kScalar) {
+        return static_cast<double>(store.ScalarEntries(*m).size());
+      }
+      return static_cast<double>(store.SetGroups(*m).size());
+    }
+  }
+  return static_cast<double>(store.UniverseSize());
+}
+
+/// Cost of evaluating `t`'s anchor (its leftmost primary) and walking
+/// outward.
+double AnchorCost(const Ref& t, const std::set<std::string>& bound,
+                  const ObjectStore& store) {
+  const Ref& d = Deref(t);
+  switch (d.kind) {
+    case RefKind::kName:
+      return 1.0;
+    case RefKind::kVar:
+      return bound.count(d.text)
+                 ? 1.0
+                 : static_cast<double>(store.UniverseSize());
+    case RefKind::kPath: {
+      // A path over an unbound variable is driven by the method extent.
+      const Ref& base = Deref(*d.base);
+      if (base.kind == RefKind::kVar && !bound.count(base.text)) {
+        const Ref& m = Deref(*d.method);
+        if (m.kind == RefKind::kName) {
+          if (std::optional<Oid> mo = ResolveName(m, store)) {
+            return static_cast<double>(
+                d.set_valued_path ? store.SetGroups(*mo).size()
+                                  : store.ScalarEntries(*mo).size());
+          }
+          return 1.0;  // unknown method: nothing stored, nothing scanned
+        }
+        return static_cast<double>(store.UniverseSize());
+      }
+      return AnchorCost(*d.base, bound, store) + 1.0;
+    }
+    case RefKind::kMolecule: {
+      const Ref& base = Deref(*d.base);
+      if (base.kind == RefKind::kVar && !bound.count(base.text)) {
+        return DriverCardinality(d.filters, bound, store);
+      }
+      return AnchorCost(*d.base, bound, store) + 1.0;
+    }
+    case RefKind::kParen:
+      break;  // stripped above
+  }
+  return static_cast<double>(store.UniverseSize());
+}
+
+}  // namespace
+
+double EstimateLiteralCost(const Ref& t, const std::set<std::string>& bound,
+                           const ObjectStore& store) {
+  return AnchorCost(t, bound, store);
+}
+
+Status PlanConjunction(std::vector<Literal>* body, const ObjectStore& store,
+                       std::vector<std::string>* cost_log) {
+  std::vector<Literal> remaining = std::move(*body);
+  std::vector<Literal> ordered;
+  std::set<std::string> bound;
+
+  std::map<std::string, int> occurrences;
+  for (const Literal& lit : remaining) {
+    for (const std::string& v : VarsOf(*lit.ref)) ++occurrences[v];
+  }
+  auto admissible = [&](const Literal& lit) {
+    std::set<std::string> need;
+    if (lit.negated) {
+      for (const std::string& v : VarsOf(*lit.ref)) {
+        if (occurrences[v] > 1) need.insert(v);
+      }
+    } else {
+      need = SetRefValueVars(*lit.ref);
+    }
+    for (const std::string& v : need) {
+      if (!bound.count(v)) return false;
+    }
+    return true;
+  };
+
+  while (!remaining.empty()) {
+    double best_cost = 0;
+    size_t best = remaining.size();
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (!admissible(remaining[i])) continue;
+      // Negated literals are pure tests: defer them until every
+      // positive literal of equal or lower cost has bound variables.
+      double cost = EstimateLiteralCost(*remaining[i].ref, bound, store) +
+                    (remaining[i].negated ? 0.5 : 0.0);
+      if (best == remaining.size() || cost < best_cost) {
+        best = i;
+        best_cost = cost;
+      }
+    }
+    if (best == remaining.size()) {
+      return UnsafeRule(
+          "cannot order the conjunction: a negated literal or `->>` filter "
+          "result needs variables no earlier literal can bind");
+    }
+    if (cost_log != nullptr) {
+      cost_log->push_back(StrCat(ToString(remaining[best]),
+                                 "   (estimated driver cardinality ",
+                                 best_cost, ")"));
+    }
+    if (!remaining[best].negated) {
+      for (const std::string& v : VarsOf(*remaining[best].ref)) {
+        bound.insert(v);
+      }
+    }
+    ordered.push_back(std::move(remaining[best]));
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+  }
+  *body = std::move(ordered);
+  return Status::OK();
+}
+
+}  // namespace pathlog

@@ -1,0 +1,39 @@
+// Cost-based ordering of conjunctions.
+//
+// The evaluator binds variables left-to-right, so literal order
+// dominates query cost: a literal whose anchor is bound (or driven by
+// a small extent) should run before one that would scan. The planner
+// orders greedily by estimated driver cardinality, subject to the same
+// safety constraints as OrderLiteralsForSafety (negated literals and
+// `->>` filter results after their variables are bound).
+
+#ifndef PATHLOG_QUERY_PLANNER_H_
+#define PATHLOG_QUERY_PLANNER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/result.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+/// Estimated number of candidate bindings the evaluator must try for
+/// `t` given the already-bound variables: 1 for a bound anchor, the
+/// extent/entry count for an index-driven anchor, the universe size
+/// for an undriven variable.
+double EstimateLiteralCost(const Ref& t, const std::set<std::string>& bound,
+                           const ObjectStore& store);
+
+/// Reorders `body` greedily by cost subject to safety. On success the
+/// body is in execution order; kUnsafeRule when no safe order exists.
+/// If `cost_log` is non-null it receives one line per literal with the
+/// estimate used (for ExplainQuery).
+Status PlanConjunction(std::vector<Literal>* body, const ObjectStore& store,
+                       std::vector<std::string>* cost_log = nullptr);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_QUERY_PLANNER_H_

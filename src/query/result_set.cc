@@ -1,0 +1,66 @@
+#include "query/result_set.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+void ResultSet::Dedup() {
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+std::vector<std::string> ResultSet::Column(const std::string& var,
+                                           const ObjectStore& store) const {
+  std::set<std::string> names;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] != var) continue;
+    for (const std::vector<Oid>& row : rows_) {
+      names.insert(store.DisplayName(row[i]));
+    }
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+bool ResultSet::ContainsRow(
+    const std::map<std::string, std::string>& expected,
+    const ObjectStore& store) const {
+  for (const std::vector<Oid>& row : rows_) {
+    bool match = true;
+    for (const auto& [var, name] : expected) {
+      auto it = std::find(vars_.begin(), vars_.end(), var);
+      if (it == vars_.end() ||
+          store.DisplayName(row[static_cast<size_t>(it - vars_.begin())]) !=
+              name) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+std::string ResultSet::ToString(const ObjectStore& store,
+                                size_t max_rows) const {
+  if (rows_.empty()) return "no answers.\n";
+  std::string out = StrJoin(vars_, " | ");
+  out += "\n";
+  size_t shown = 0;
+  for (const std::vector<Oid>& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += StrCat("... (", rows_.size() - max_rows, " more rows)\n");
+      break;
+    }
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (Oid o : row) cells.push_back(store.DisplayName(o));
+    out += StrJoin(cells, " | ");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pathlog

@@ -1,0 +1,47 @@
+// Query answers: named variables and rows of objects.
+
+#ifndef PATHLOG_QUERY_RESULT_SET_H_
+#define PATHLOG_QUERY_RESULT_SET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "store/object_store.h"
+
+namespace pathlog {
+
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(std::vector<std::string> vars) : vars_(std::move(vars)) {}
+
+  const std::vector<std::string>& vars() const { return vars_; }
+  const std::vector<std::vector<Oid>>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(std::vector<Oid> row) { rows_.push_back(std::move(row)); }
+  void Dedup();
+
+  /// The values of one variable across all rows (deduplicated, sorted
+  /// by display name), as display names — convenient for tests.
+  std::vector<std::string> Column(const std::string& var,
+                                  const ObjectStore& store) const;
+
+  /// True iff some row assigns exactly these display names (a subset of
+  /// the variables may be given).
+  bool ContainsRow(const std::map<std::string, std::string>& expected,
+                   const ObjectStore& store) const;
+
+  /// Bounded ASCII rendering ("no answers." when empty).
+  std::string ToString(const ObjectStore& store, size_t max_rows = 50) const;
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<std::vector<Oid>> rows_;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_QUERY_RESULT_SET_H_

@@ -1,0 +1,11 @@
+#include "semantics/structure.h"
+
+namespace pathlog {
+
+bool IsBuiltinMethodName(std::string_view name) {
+  return name == kSelfMethodName || name == kLtName || name == kLeqName ||
+         name == kGtName || name == kGeqName || name == kIntEqName ||
+         name == kIntNeqName || name == kBetweenName;
+}
+
+}  // namespace pathlog

@@ -1,0 +1,44 @@
+// Direct semantics of PathLog (paper section 5).
+//
+// Definition 4: given a semantic structure I and a *total* variable
+// valuation nu : V -> U, the extended valuation rho_I maps every
+// well-formed reference to a set of objects (singleton-or-empty for
+// scalar references). Definition 5: I |=_nu t iff rho_I(t) != {}.
+//
+// This module implements the definition *literally*, including its
+// vacuous corner: a `->>` filter whose specified set evaluates to {}
+// is satisfied trivially (the empty set is a subset of everything).
+// The query evaluator in eval/ uses the stricter active-domain variant
+// (every sub-reference must denote) — tests/semantics_test.cc pins the
+// difference down explicitly.
+
+#ifndef PATHLOG_SEMANTICS_VALUATION_H_
+#define PATHLOG_SEMANTICS_VALUATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/ref.h"
+#include "base/result.h"
+#include "semantics/structure.h"
+
+namespace pathlog {
+
+/// A total assignment of objects to the variables of interest.
+using VarValuation = std::map<std::string, Oid>;
+
+/// rho_I(t): the set of objects denoted by `t` under `nu`, sorted and
+/// deduplicated. Fails with kInvalidArgument if `t` mentions a variable
+/// missing from `nu` (Definition 4 requires a total valuation) and
+/// kNotFound if `t` mentions a name the store has never interned.
+Result<std::vector<Oid>> Valuate(const SemanticStructure& I, const Ref& t,
+                                 const VarValuation& nu);
+
+/// Definition 5: I |=_nu t iff rho_I(t) is non-empty.
+Result<bool> Entails(const SemanticStructure& I, const Ref& t,
+                     const VarValuation& nu);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_SEMANTICS_VALUATION_H_

@@ -1,0 +1,48 @@
+#include "store/fact.h"
+
+#include "base/strings.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+namespace {
+std::string ArgsToString(const std::vector<Oid>& args,
+                         const ObjectStore& store) {
+  if (args.empty()) return "";
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (Oid a : args) parts.push_back(store.DisplayName(a));
+  return StrCat("@(", StrJoin(parts, ","), ")");
+}
+}  // namespace
+
+std::string FactToString(const Fact& fact, const ObjectStore& store) {
+  switch (fact.kind) {
+    case FactKind::kIsa:
+      return StrCat(store.DisplayName(fact.recv), " : ",
+                    store.DisplayName(fact.method));
+    case FactKind::kScalar:
+      return StrCat(store.DisplayName(fact.recv), "[",
+                    store.DisplayName(fact.method),
+                    ArgsToString(fact.args, store), "->",
+                    store.DisplayName(fact.value), "]");
+    case FactKind::kSetMember:
+      return StrCat(store.DisplayName(fact.recv), "[",
+                    store.DisplayName(fact.method),
+                    ArgsToString(fact.args, store), "->>{",
+                    store.DisplayName(fact.value), "}]");
+  }
+  return "<invalid fact>";
+}
+
+std::string StoreToProgramText(const ObjectStore& store) {
+  std::string out;
+  const uint64_t n = store.generation();
+  for (uint64_t g = 0; g < n; ++g) {
+    out += FactToString(store.FactAt(g), store);
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace pathlog

@@ -1,0 +1,57 @@
+// Uniform fact representation: the extensional (and derived) content of
+// a PathLog database is a set of facts of three kinds, mirroring the
+// components of a semantic structure I = (U, <=_U, I_N, I_->, I_->>):
+//
+//   kIsa        u  <=_U  c                 (class hierarchy / membership)
+//   kScalar     I_->(m)(recv, args...)  = value
+//   kSetMember  value in I_->>(m)(recv, args...)
+//
+// Facts are logged in insertion order; the log position is the fact's
+// *generation*, which the semi-naive engine uses to iterate deltas.
+
+#ifndef PATHLOG_STORE_FACT_H_
+#define PATHLOG_STORE_FACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/oid.h"
+
+namespace pathlog {
+
+class ObjectStore;
+
+enum class FactKind : uint8_t {
+  kIsa = 0,
+  kScalar = 1,
+  kSetMember = 2,
+};
+
+/// One atomic piece of database state.
+struct Fact {
+  FactKind kind;
+  /// The method object (kScalar, kSetMember) or the class (kIsa).
+  Oid method;
+  /// The receiver u_0 (kScalar, kSetMember) or the instance/subclass (kIsa).
+  Oid recv;
+  /// Method arguments u_1..u_k; always empty for kIsa.
+  std::vector<Oid> args;
+  /// The scalar result, the set member, or kNilOid for kIsa.
+  Oid value = kNilOid;
+
+  friend bool operator==(const Fact& a, const Fact& b) = default;
+};
+
+/// Renders a fact in PathLog surface syntax, e.g.
+/// "p1[salary@(1994)->1000]", "tim[kids->>{sally}]", "e1 : employee".
+std::string FactToString(const Fact& fact, const ObjectStore& store);
+
+/// Dumps the whole store as a loadable PathLog program (one fact
+/// clause per line) — used to round-trip generated workloads through
+/// the parser and by the parser benchmarks.
+std::string StoreToProgramText(const ObjectStore& store);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_STORE_FACT_H_

@@ -1,0 +1,258 @@
+// The object store: PathLog's OODB substrate.
+//
+// Realises the semantic structure I = (U, <=_U, I_N, I_->, I_->>) of
+// the paper (section 3) as a mutable, indexed store:
+//
+//   U      the universe: every interned name, value, and anonymous
+//          (virtual) object gets a dense Oid;
+//   I_N    name interpretation: interning is injective, so names map
+//          one-to-one onto their objects; integers and strings are
+//          names too ("we don't distinguish between objects and
+//          values");
+//   <=_U   the class hierarchy: a DAG of isa edges whose reachability
+//          relation is the partial order; classes and methods are
+//          ordinary objects, so any object may appear on either side;
+//   I_->   scalar methods: per method, a partial function from
+//          (receiver, args...) to one object;
+//   I_->>  set-valued methods: per method, a function from
+//          (receiver, args...) to a set of objects.
+//
+// Every mutation appends to a fact log; the log index is the
+// *generation*, which the deductive engine uses for semi-naive deltas
+// and which snapshots/rollback use as a watermark.
+//
+// Deviation note (documented in DESIGN.md): the paper calls <=_U a
+// partial order, hence reflexive. We expose reachability through
+// explicit edges only (irreflexive unless an explicit self-edge is
+// added), because reflexive membership would make every class a member
+// of itself and pollute every class-extent query in the paper's
+// examples.
+
+#ifndef PATHLOG_STORE_OBJECT_STORE_H_
+#define PATHLOG_STORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "store/fact.h"
+#include "store/oid.h"
+
+namespace pathlog {
+
+/// What kind of denotation an object carries.
+enum class ObjectKind : uint8_t {
+  /// A symbolic name from N (e.g. `mary`, `employee`, `color`).
+  kSymbol,
+  /// An integer value (integers are names too, paper section 3).
+  kInt,
+  /// A string literal value.
+  kString,
+  /// An anonymous object created for a virtual-object definition; it
+  /// has a synthetic display name such as `_boss(p1)` but no entry in
+  /// the user-visible name space N.
+  kAnonymous,
+};
+
+/// One scalar-method fact: I_->(m)(recv, args...) = value.
+struct ScalarEntry {
+  Oid recv;
+  std::vector<Oid> args;
+  Oid value;
+  /// Generation at which this fact was asserted.
+  uint64_t gen;
+};
+
+/// One set-valued group: I_->>(m)(recv, args...) = {members...}.
+struct SetGroup {
+  Oid recv;
+  std::vector<Oid> args;
+  /// Members in insertion order; `member_gens[i]` stamps `members[i]`.
+  std::vector<Oid> members;
+  std::vector<uint64_t> member_gens;
+  /// member -> generation of its membership fact.
+  std::unordered_map<Oid, uint64_t> member_set;
+
+  bool Contains(Oid o) const { return member_set.count(o) > 0; }
+  /// Generation of o's membership fact; UINT64_MAX if not a member.
+  uint64_t MemberGen(Oid o) const {
+    auto it = member_set.find(o);
+    return it == member_set.end() ? UINT64_MAX : it->second;
+  }
+};
+
+/// The mutable object store. Copyable: a copy is an independent
+/// snapshot (used by the engine to run naive/semi-naive as oracles
+/// against each other and by tests for rollback).
+class ObjectStore {
+ public:
+  ObjectStore();
+
+  // --- Universe and names (I_N) -------------------------------------
+
+  /// Interns a symbolic name, returning its (stable) object.
+  Oid InternSymbol(std::string_view name);
+  /// Interns an integer value.
+  Oid InternInt(int64_t value);
+  /// Interns a string literal (distinct from the symbol of same text).
+  Oid InternString(std::string_view text);
+  /// Creates a fresh anonymous object with a synthetic display name.
+  Oid NewAnonymous(std::string display_name);
+
+  /// Finds an existing symbol without creating it.
+  std::optional<Oid> FindSymbol(std::string_view name) const;
+  std::optional<Oid> FindInt(int64_t value) const;
+  std::optional<Oid> FindString(std::string_view text) const;
+
+  ObjectKind kind(Oid o) const { return objects_[o].kind; }
+  /// The display form: symbol text, decimal digits, quoted string, or
+  /// the synthetic `_m(recv)` name of an anonymous object.
+  const std::string& DisplayName(Oid o) const { return objects_[o].name; }
+  /// Integer value of a kInt object.
+  int64_t IntValue(Oid o) const { return objects_[o].int_value; }
+
+  /// Number of objects in the universe.
+  size_t UniverseSize() const { return objects_.size(); }
+  bool Valid(Oid o) const { return o < objects_.size(); }
+
+  // --- Class hierarchy (<=_U) ---------------------------------------
+
+  /// Adds sub <=_U super. Rejects cycles (the hierarchy must remain a
+  /// partial order). Idempotent for existing edges.
+  Status AddIsa(Oid sub, Oid super);
+
+  /// True iff sub <=_U super via one or more explicit edges.
+  bool IsA(Oid sub, Oid super) const;
+
+  /// Generation of the explicit isa fact that established sub <=_U
+  /// super (for closure pairs: the fact whose edge completed the
+  /// path); UINT64_MAX when the pair does not hold. Used by the
+  /// delta-restricted evaluator.
+  uint64_t IsaGen(Oid sub, Oid super) const;
+
+  /// All objects u with u <=_U c (the extent of c), insertion order.
+  const std::vector<Oid>& Members(Oid c) const;
+
+  /// Generations parallel to Members(c).
+  const std::vector<uint64_t>& MemberGens(Oid c) const;
+
+  /// All direct and transitive superclasses of o.
+  const std::vector<Oid>& Ancestors(Oid o) const;
+
+  /// Generations parallel to Ancestors(o).
+  const std::vector<uint64_t>& AncestorGens(Oid o) const;
+
+  /// All classes that have at least one member.
+  std::vector<Oid> ClassesWithMembers() const;
+
+  // --- Scalar methods (I_->) ----------------------------------------
+
+  /// Asserts I_->(m)(recv, args...) = value. Returns OK and records a
+  /// fact if new; OK without a record if identical; kScalarConflict if
+  /// a *different* value is already recorded (scalar methods are
+  /// partial functions).
+  Status SetScalar(Oid m, Oid recv, const std::vector<Oid>& args, Oid value);
+
+  /// Looks up I_->(m)(recv, args...); nullopt where undefined.
+  std::optional<Oid> GetScalar(Oid m, Oid recv,
+                               const std::vector<Oid>& args) const;
+
+  /// All facts of scalar method m (empty if m has none).
+  const std::vector<ScalarEntry>& ScalarEntries(Oid m) const;
+
+  /// Indexes of entries in ScalarEntries(m) whose receiver is recv.
+  const std::vector<uint32_t>& ScalarEntriesByRecv(Oid m, Oid recv) const;
+
+  /// All methods with at least one scalar fact.
+  std::vector<Oid> ScalarMethods() const;
+
+  // --- Set-valued methods (I_->>) -----------------------------------
+
+  /// Asserts value in I_->>(m)(recv, args...). Returns true if the
+  /// membership is new.
+  bool AddSetMember(Oid m, Oid recv, const std::vector<Oid>& args, Oid value);
+
+  /// The group for (m, recv, args), or nullptr where the set is empty.
+  const SetGroup* GetSetGroup(Oid m, Oid recv,
+                              const std::vector<Oid>& args) const;
+
+  /// All groups of set-valued method m.
+  const std::vector<SetGroup>& SetGroups(Oid m) const;
+
+  /// Indexes of groups in SetGroups(m) whose receiver is recv.
+  const std::vector<uint32_t>& SetGroupsByRecv(Oid m, Oid recv) const;
+
+  /// All methods with at least one set-valued fact.
+  std::vector<Oid> SetMethods() const;
+
+  // --- Fact log / generations ---------------------------------------
+
+  /// Number of facts ever asserted; also the next generation stamp.
+  uint64_t generation() const { return log_.size(); }
+
+  /// The fact with generation g (0 <= g < generation()).
+  const Fact& FactAt(uint64_t g) const { return log_[g]; }
+
+  /// Total number of stored facts (== generation()).
+  size_t FactCount() const { return log_.size(); }
+
+  /// Statistics used by benchmarks and the README examples.
+  struct Stats {
+    size_t objects = 0;
+    size_t isa_facts = 0;
+    size_t scalar_facts = 0;
+    size_t set_facts = 0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  struct ObjectInfo {
+    ObjectKind kind;
+    std::string name;
+    int64_t int_value = 0;
+  };
+
+  struct ScalarTable {
+    std::unordered_map<InvocationKey, uint32_t, InvocationKeyHash> index;
+    std::vector<ScalarEntry> entries;
+    std::unordered_map<Oid, std::vector<uint32_t>> by_recv;
+  };
+
+  struct SetTable {
+    std::unordered_map<InvocationKey, uint32_t, InvocationKeyHash> index;
+    std::vector<SetGroup> groups;
+    std::unordered_map<Oid, std::vector<uint32_t>> by_recv;
+  };
+
+  Oid AddObject(ObjectInfo info);
+
+  std::vector<ObjectInfo> objects_;
+  std::unordered_map<std::string, Oid> symbols_;
+  std::unordered_map<int64_t, Oid> ints_;
+  std::unordered_map<std::string, Oid> strings_;
+
+  // Hierarchy: direct edges plus eagerly-maintained reachability, with
+  // the generation of the establishing fact per closure pair.
+  std::unordered_map<Oid, std::vector<Oid>> up_edges_;
+  std::unordered_map<Oid, std::vector<Oid>> ancestors_;  // closure
+  std::unordered_map<Oid, std::vector<uint64_t>> ancestor_gens_;
+  std::unordered_map<Oid, std::unordered_map<Oid, uint64_t>> anc_set_;
+  std::unordered_map<Oid, std::vector<Oid>> members_;  // extent
+  std::unordered_map<Oid, std::vector<uint64_t>> member_gens_;
+  std::unordered_map<Oid, std::unordered_set<Oid>> member_set_;
+
+  std::unordered_map<Oid, ScalarTable> scalar_;
+  std::unordered_map<Oid, SetTable> setval_;
+
+  std::vector<Fact> log_;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_STORE_OBJECT_STORE_H_

@@ -1,0 +1,209 @@
+#include "store/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+namespace {
+
+constexpr char kMagic[] = "PLGSNAP1";
+constexpr size_t kMagicLen = 8;
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool Ok() const { return ok_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  uint8_t U8() { return Fixed<uint8_t>(1); }
+  uint16_t U16() { return Fixed<uint16_t>(2); }
+  uint32_t U32() { return Fixed<uint32_t>(4); }
+  uint64_t U64() { return Fixed<uint64_t>(8); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  std::string_view Bytes(size_t n) { return Take(n); }
+
+ private:
+  template <typename T>
+  T Fixed(size_t n) {
+    std::string_view s = Take(n);
+    T v = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+      v |= static_cast<T>(static_cast<uint8_t>(s[i])) << (8 * i);
+    }
+    return v;
+  }
+
+  std::string_view Take(size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return std::string_view();
+    }
+    std::string_view s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string SerializeSnapshot(const ObjectStore& store) {
+  std::string out;
+  out.append(kMagic, kMagicLen);
+
+  const size_t n = store.UniverseSize();
+  PutU64(&out, n);
+  for (Oid o = 0; o < n; ++o) {
+    ObjectKind kind = store.kind(o);
+    PutU8(&out, static_cast<uint8_t>(kind));
+    if (kind == ObjectKind::kInt) {
+      PutU64(&out, static_cast<uint64_t>(store.IntValue(o)));
+      continue;
+    }
+    // Strings display quoted; strip the quotes to store the raw value.
+    std::string name = store.DisplayName(o);
+    if (kind == ObjectKind::kString) {
+      name = name.substr(1, name.size() - 2);
+    }
+    PutU32(&out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+  }
+
+  const uint64_t facts = store.generation();
+  PutU64(&out, facts);
+  for (uint64_t g = 0; g < facts; ++g) {
+    const Fact& f = store.FactAt(g);
+    PutU8(&out, static_cast<uint8_t>(f.kind));
+    PutU32(&out, f.method);
+    PutU32(&out, f.recv);
+    PutU16(&out, static_cast<uint16_t>(f.args.size()));
+    for (Oid a : f.args) PutU32(&out, a);
+    PutU32(&out, f.value);
+  }
+  return out;
+}
+
+Result<ObjectStore> DeserializeSnapshot(std::string_view bytes) {
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+    return Status(InvalidArgument("not a PathLog snapshot (bad magic)"));
+  }
+  Reader r(bytes.substr(kMagicLen));
+
+  ObjectStore store;
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n && r.Ok(); ++i) {
+    ObjectKind kind = static_cast<ObjectKind>(r.U8());
+    Oid o = kNilOid;
+    switch (kind) {
+      case ObjectKind::kInt:
+        o = store.InternInt(r.I64());
+        break;
+      case ObjectKind::kSymbol: {
+        uint32_t len = r.U32();
+        o = store.InternSymbol(r.Bytes(len));
+        break;
+      }
+      case ObjectKind::kString: {
+        uint32_t len = r.U32();
+        o = store.InternString(r.Bytes(len));
+        break;
+      }
+      case ObjectKind::kAnonymous: {
+        uint32_t len = r.U32();
+        o = store.NewAnonymous(std::string(r.Bytes(len)));
+        break;
+      }
+      default:
+        return Status(
+            InvalidArgument("snapshot corrupt: unknown object kind"));
+    }
+    if (!r.Ok()) break;
+    if (o != static_cast<Oid>(i)) {
+      return Status(Internal(StrCat(
+          "snapshot corrupt: object ", i, " reconstructed with oid ", o,
+          " (duplicate table entry?)")));
+    }
+  }
+
+  const uint64_t facts = r.Ok() ? r.U64() : 0;
+  for (uint64_t g = 0; g < facts && r.Ok(); ++g) {
+    FactKind kind = static_cast<FactKind>(r.U8());
+    Oid method = r.U32();
+    Oid recv = r.U32();
+    uint16_t argc = r.U16();
+    std::vector<Oid> args(argc);
+    for (uint16_t i = 0; i < argc; ++i) args[i] = r.U32();
+    Oid value = r.U32();
+    if (!r.Ok()) break;
+    switch (kind) {
+      case FactKind::kIsa:
+        PATHLOG_RETURN_IF_ERROR(store.AddIsa(recv, method));
+        break;
+      case FactKind::kScalar:
+        PATHLOG_RETURN_IF_ERROR(store.SetScalar(method, recv, args, value));
+        break;
+      case FactKind::kSetMember:
+        store.AddSetMember(method, recv, args, value);
+        break;
+      default:
+        return Status(InvalidArgument("snapshot corrupt: unknown fact kind"));
+    }
+  }
+  if (!r.Ok()) {
+    return Status(InvalidArgument("snapshot corrupt: truncated input"));
+  }
+  if (r.remaining() != 0) {
+    return Status(InvalidArgument("snapshot corrupt: trailing bytes"));
+  }
+  if (store.generation() != facts) {
+    return Status(Internal("snapshot replay produced a different log"));
+  }
+  return store;
+}
+
+Status WriteSnapshotFile(const ObjectStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return InvalidArgument(StrCat("cannot open ", path, " for writing"));
+  }
+  std::string bytes = SerializeSnapshot(store);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return InvalidArgument(StrCat("failed writing snapshot to ", path));
+  }
+  return Status::OK();
+}
+
+Result<ObjectStore> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(NotFound(StrCat("cannot open snapshot file ", path)));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeSnapshot(bytes);
+}
+
+}  // namespace pathlog

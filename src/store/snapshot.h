@@ -1,0 +1,42 @@
+// Binary snapshots of an object store.
+//
+// The PathLog-text dump (StoreToProgramText) is human-readable but
+// cannot round-trip *anonymous* objects — a materialised database full
+// of virtual objects like `_boss(p1)` needs a faithful format.
+// Snapshots serialise the object table and the fact log; loading
+// replays the log, so oids, display names, generations and all derived
+// indexes are reproduced exactly.
+//
+// Format (little-endian, fixed-width):
+//   magic "PLGSNAP1"
+//   u64 object_count
+//     per object: u8 kind; kInt: i64 value; else: u32 len + bytes
+//   u64 fact_count
+//     per fact: u8 kind, u32 method, u32 recv,
+//               u16 argc, u32 args[argc], u32 value
+
+#ifndef PATHLOG_STORE_SNAPSHOT_H_
+#define PATHLOG_STORE_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+/// Serialises the store into a byte string.
+std::string SerializeSnapshot(const ObjectStore& store);
+
+/// Reconstructs a store from SerializeSnapshot output. The result is
+/// bit-for-bit equivalent: same oids, names, facts and generations.
+Result<ObjectStore> DeserializeSnapshot(std::string_view bytes);
+
+/// File convenience wrappers.
+Status WriteSnapshotFile(const ObjectStore& store, const std::string& path);
+Result<ObjectStore> ReadSnapshotFile(const std::string& path);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_STORE_SNAPSHOT_H_

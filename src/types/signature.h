@@ -1,0 +1,63 @@
+// Method signatures (paper section 2: "the usage of methods can be
+// controlled by signatures in the same way as in [KLW93], which makes
+// type checking techniques applicable" — the paper's argument for
+// defining virtual objects by methods rather than function symbols).
+//
+// A declaration `c[m @(a1..ak) => r]` (scalar) or `=>> r` (set-valued)
+// promises: whenever m is invoked on a receiver of class c with
+// arguments of classes a1..ak, every result is of class r. Signatures
+// are inherited downward through the hierarchy, so a virtual object's
+// type is checkable exactly like a stored object's.
+
+#ifndef PATHLOG_TYPES_SIGNATURE_H_
+#define PATHLOG_TYPES_SIGNATURE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/result.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+
+struct Signature {
+  Oid klass;
+  Oid method;
+  std::vector<Oid> arg_types;
+  Oid result_type;
+  bool set_valued;
+};
+
+/// Built-in type names with structural meaning for conformance:
+/// `object` matches everything; `integer` and `string` match by value
+/// kind (integers and strings are names, not class members).
+inline constexpr std::string_view kAnyTypeName = "object";
+inline constexpr std::string_view kIntTypeName = "integer";
+inline constexpr std::string_view kStringTypeName = "string";
+
+class SignatureTable {
+ public:
+  /// Declares a parsed signature. Class, method and types must be
+  /// ground simple names; they are interned through `store`.
+  Status Declare(const SignatureDecl& decl, ObjectStore* store);
+
+  /// All declared signatures of a method (both flavours).
+  const std::vector<Signature>& ForMethod(Oid method) const;
+
+  bool empty() const { return by_method_.empty(); }
+  size_t size() const { return count_; }
+
+  /// Type conformance: `x` conforms to `type` iff type is `object`,
+  /// type matches x's value kind (`integer`/`string`), x == type, or
+  /// x <=_U type.
+  static bool Conforms(const ObjectStore& store, Oid x, Oid type);
+
+ private:
+  std::unordered_map<Oid, std::vector<Signature>> by_method_;
+  size_t count_ = 0;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_TYPES_SIGNATURE_H_

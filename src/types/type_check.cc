@@ -1,0 +1,78 @@
+#include "types/type_check.h"
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+void TypeChecker::CheckFact(const Fact& fact,
+                            std::vector<TypeViolation>* out) const {
+  if (fact.kind == FactKind::kIsa) return;  // hierarchy facts are untyped
+  const std::vector<Signature>& sigs = sigs_.ForMethod(fact.method);
+  if (sigs.empty()) return;  // undeclared methods are unchecked
+
+  const bool is_set = fact.kind == FactKind::kSetMember;
+  bool any_flavor_applicable = false;
+  for (const Signature& sig : sigs) {
+    if (sig.set_valued != is_set) continue;
+    if (sig.arg_types.size() != fact.args.size()) continue;
+    if (!SignatureTable::Conforms(store_, fact.recv, sig.klass)) continue;
+    bool args_ok = true;
+    for (size_t i = 0; i < fact.args.size(); ++i) {
+      if (!SignatureTable::Conforms(store_, fact.args[i], sig.arg_types[i])) {
+        args_ok = false;
+        break;
+      }
+    }
+    if (!args_ok) continue;
+    any_flavor_applicable = true;
+    if (!SignatureTable::Conforms(store_, fact.value, sig.result_type)) {
+      out->push_back(TypeViolation{
+          fact,
+          StrCat("result ", store_.DisplayName(fact.value), " of ",
+                 FactToString(fact, store_), " does not conform to ",
+                 store_.DisplayName(sig.result_type), " (signature on class ",
+                 store_.DisplayName(sig.klass), ")")});
+    }
+  }
+
+  if (!any_flavor_applicable) {
+    // Signatures constrain per class: a receiver outside every declared
+    // class is unchecked (liberal, as in [KLW93]). But if the method IS
+    // declared for this receiver — just with the other flavour or a
+    // different arity — the use is a flavour/arity mismatch.
+    bool declared_for_receiver = false;
+    for (const Signature& sig : sigs) {
+      if (SignatureTable::Conforms(store_, fact.recv, sig.klass)) {
+        declared_for_receiver = true;
+        break;
+      }
+    }
+    if (!declared_for_receiver) return;
+    out->push_back(TypeViolation{
+        fact, StrCat(FactToString(fact, store_), ": method ",
+                     store_.DisplayName(fact.method),
+                     " has signatures, but none of this flavour/arity "
+                     "applies to receiver ",
+                     store_.DisplayName(fact.recv))});
+  }
+}
+
+void TypeChecker::CheckSince(uint64_t from,
+                             std::vector<TypeViolation>* out) const {
+  const uint64_t end = store_.generation();
+  for (uint64_t g = from; g < end; ++g) {
+    CheckFact(store_.FactAt(g), out);
+  }
+}
+
+Status TypeChecker::CheckAllStrict() const {
+  std::vector<TypeViolation> violations;
+  CheckAll(&violations);
+  if (violations.empty()) return Status::OK();
+  return TypeError(StrCat(violations[0].message, violations.size() > 1
+                              ? StrCat(" (and ", violations.size() - 1,
+                                       " more violations)")
+                              : ""));
+}
+
+}  // namespace pathlog

@@ -1,0 +1,59 @@
+// Hierarchy-aware type checking of stored (and derived) facts against
+// declared signatures.
+//
+// A scalar fact m(recv, a1..ak) = v violates a signature
+// c[m@(t1..tk) => r] iff recv conforms to c, every ai conforms to ti
+// (the signature *applies*), and v does not conform to r. Set-valued
+// facts are checked per member. Because virtual objects are defined by
+// ordinary methods, the same check covers them — the type story the
+// paper claims over XSQL's function-symbol views.
+//
+// Flavour mismatches are also reported: a scalar fact for a method
+// that only has set-valued signatures (and vice versa).
+
+#ifndef PATHLOG_TYPES_TYPE_CHECK_H_
+#define PATHLOG_TYPES_TYPE_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "store/fact.h"
+#include "store/object_store.h"
+#include "types/signature.h"
+
+namespace pathlog {
+
+struct TypeViolation {
+  Fact fact;
+  std::string message;
+};
+
+class TypeChecker {
+ public:
+  TypeChecker(const ObjectStore& store, const SignatureTable& sigs)
+      : store_(store), sigs_(sigs) {}
+
+  /// Checks every fact with generation in [from, store.generation());
+  /// appends violations. Never fails; inspect the vector.
+  void CheckSince(uint64_t from, std::vector<TypeViolation>* out) const;
+
+  /// Checks the whole store.
+  void CheckAll(std::vector<TypeViolation>* out) const {
+    CheckSince(0, out);
+  }
+
+  /// Convenience: OK iff the whole store conforms, else kTypeError
+  /// describing the first violation (and how many more there are).
+  Status CheckAllStrict() const;
+
+ private:
+  void CheckFact(const Fact& fact, std::vector<TypeViolation>* out) const;
+
+  const ObjectStore& store_;
+  const SignatureTable& sigs_;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_TYPES_TYPE_CHECK_H_

@@ -1,0 +1,140 @@
+#include "workload/company.h"
+
+#include <random>
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+CompanyData GenerateCompany(ObjectStore* store, const CompanyConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  auto pick = [&](size_t n) { return static_cast<size_t>(rng() % n); };
+  auto chance = [&](double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+  };
+
+  CompanyData data;
+  data.employee_class = store->InternSymbol("employee");
+  data.manager_class = store->InternSymbol("manager");
+  data.vehicle_class = store->InternSymbol("vehicle");
+  data.automobile_class = store->InternSymbol("automobile");
+  data.company_class = store->InternSymbol("company");
+  (void)store->AddIsa(data.manager_class, data.employee_class);
+  (void)store->AddIsa(data.automobile_class, data.vehicle_class);
+
+  const Oid m_age = store->InternSymbol("age");
+  const Oid m_city = store->InternSymbol("city");
+  const Oid m_salary = store->InternSymbol("salary");
+  const Oid m_boss = store->InternSymbol("boss");
+  const Oid m_works_for = store->InternSymbol("worksFor");
+  const Oid m_vehicles = store->InternSymbol("vehicles");
+  const Oid m_assistants = store->InternSymbol("assistants");
+  const Oid m_cylinders = store->InternSymbol("cylinders");
+  const Oid m_color = store->InternSymbol("color");
+  const Oid m_produced_by = store->InternSymbol("producedBy");
+  const Oid m_president = store->InternSymbol("president");
+
+  // Cities: the first two are the paper's named cities.
+  for (uint32_t i = 0; i < std::max<uint32_t>(cfg.num_cities, 2); ++i) {
+    std::string name = i == 0 ? "newYork"
+                     : i == 1 ? "detroit"
+                              : StrCat("city", i);
+    data.cities.push_back(store->InternSymbol(name));
+  }
+  for (uint32_t i = 0; i < std::max<uint32_t>(cfg.num_colors, 1); ++i) {
+    std::string name = i == 0 ? "red" : StrCat("color", i);
+    data.colors.push_back(store->InternSymbol(name));
+  }
+  for (uint32_t i = 0; i < cfg.num_departments; ++i) {
+    data.departments.push_back(store->InternSymbol(StrCat("dept", i)));
+  }
+  for (uint32_t i = 0; i < cfg.num_companies; ++i) {
+    Oid c = store->InternSymbol(StrCat("comp", i));
+    data.companies.push_back(c);
+    (void)store->AddIsa(c, data.company_class);
+    (void)store->SetScalar(m_city, c, {}, data.cities[pick(data.cities.size())]);
+  }
+
+  // Employees (a prefix of which are managers).
+  const uint32_t num_managers = std::max<uint32_t>(
+      1, static_cast<uint32_t>(cfg.num_employees * cfg.manager_fraction));
+  for (uint32_t i = 0; i < cfg.num_employees; ++i) {
+    Oid e = store->InternSymbol(StrCat("emp", i));
+    data.employees.push_back(e);
+    if (i < num_managers) {
+      data.managers.push_back(e);
+      (void)store->AddIsa(e, data.manager_class);
+    } else {
+      (void)store->AddIsa(e, data.employee_class);
+    }
+    int64_t age = static_cast<int64_t>(
+        cfg.min_age + rng() % (cfg.max_age - cfg.min_age + 1));
+    (void)store->SetScalar(m_age, e, {}, store->InternInt(age));
+    (void)store->SetScalar(m_city, e, {},
+                           data.cities[pick(data.cities.size())]);
+    (void)store->SetScalar(
+        m_salary, e, {},
+        store->InternInt(static_cast<int64_t>(1000 + 100 * (rng() % 50))));
+    (void)store->SetScalar(m_works_for, e, {},
+                           data.departments[pick(data.departments.size())]);
+  }
+  // Bosses and assistants.
+  for (uint32_t i = num_managers; i < cfg.num_employees; ++i) {
+    Oid boss = data.managers[pick(data.managers.size())];
+    (void)store->SetScalar(m_boss, data.employees[i], {}, boss);
+  }
+  for (Oid m : data.managers) {
+    for (uint32_t k = 0; k < cfg.assistants_per_manager; ++k) {
+      Oid a = data.employees[pick(data.employees.size())];
+      if (a != m) store->AddSetMember(m_assistants, m, {}, a);
+    }
+  }
+
+  // Vehicles.
+  uint32_t vid = 0;
+  for (Oid e : data.employees) {
+    const uint32_t n =
+        cfg.max_vehicles_per_employee == 0
+            ? 0
+            : static_cast<uint32_t>(rng() % (cfg.max_vehicles_per_employee + 1));
+    for (uint32_t k = 0; k < n; ++k) {
+      Oid v = store->InternSymbol(StrCat("veh", vid++));
+      data.vehicles.push_back(v);
+      store->AddSetMember(m_vehicles, e, {}, v);
+      (void)store->SetScalar(m_color, v, {},
+                             data.colors[pick(data.colors.size())]);
+      (void)store->SetScalar(m_produced_by, v, {},
+                             data.companies[pick(data.companies.size())]);
+      if (chance(cfg.automobile_fraction)) {
+        data.automobiles.push_back(v);
+        (void)store->AddIsa(v, data.automobile_class);
+        int64_t cyl =
+            cfg.cylinder_choices[pick(cfg.cylinder_choices.size())];
+        (void)store->SetScalar(m_cylinders, v, {}, store->InternInt(cyl));
+      } else {
+        (void)store->AddIsa(v, data.vehicle_class);
+      }
+    }
+  }
+  // Presidents: each company is led by some manager. Some presidents
+  // own a red automobile built by their own company, so the section-2
+  // manager query has answers at every scale.
+  for (Oid c : data.companies) {
+    Oid president = data.managers[pick(data.managers.size())];
+    (void)store->SetScalar(m_president, c, {}, president);
+    if (chance(cfg.president_owns_company_car_fraction)) {
+      Oid v = store->InternSymbol(StrCat("veh", vid++));
+      data.vehicles.push_back(v);
+      data.automobiles.push_back(v);
+      store->AddSetMember(m_vehicles, president, {}, v);
+      (void)store->AddIsa(v, data.automobile_class);
+      (void)store->SetScalar(m_color, v, {}, data.colors[0]);  // red
+      (void)store->SetScalar(m_produced_by, v, {}, c);
+      int64_t cyl = cfg.cylinder_choices[pick(cfg.cylinder_choices.size())];
+      (void)store->SetScalar(m_cylinders, v, {}, store->InternInt(cyl));
+    }
+  }
+  return data;
+}
+
+}  // namespace pathlog

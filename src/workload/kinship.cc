@@ -1,0 +1,72 @@
+#include "workload/kinship.h"
+
+#include <random>
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+namespace {
+std::vector<Oid> MakePeople(ObjectStore* store, uint32_t n,
+                            const char* prefix) {
+  std::vector<Oid> people;
+  people.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    people.push_back(store->InternSymbol(StrCat(prefix, i)));
+  }
+  return people;
+}
+}  // namespace
+
+KinshipData GenerateChain(ObjectStore* store, uint32_t n, const char* prefix) {
+  KinshipData data;
+  data.people = MakePeople(store, n, prefix);
+  const Oid kids = store->InternSymbol("kids");
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    store->AddSetMember(kids, data.people[i], {}, data.people[i + 1]);
+    ++data.num_edges;
+  }
+  return data;
+}
+
+KinshipData GenerateTree(ObjectStore* store, uint32_t n, uint32_t branching,
+                         const char* prefix) {
+  KinshipData data;
+  data.people = MakePeople(store, n, prefix);
+  const Oid kids = store->InternSymbol("kids");
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t k = 1; k <= branching; ++k) {
+      uint64_t child = static_cast<uint64_t>(i) * branching + k;
+      if (child >= n) break;
+      store->AddSetMember(kids, data.people[i], {},
+                          data.people[static_cast<uint32_t>(child)]);
+      ++data.num_edges;
+    }
+  }
+  return data;
+}
+
+KinshipData GenerateRandomDag(ObjectStore* store, uint32_t n, double avg_kids,
+                              uint64_t seed, const char* prefix) {
+  KinshipData data;
+  data.people = MakePeople(store, n, prefix);
+  const Oid kids = store->InternSymbol("kids");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    // Expected avg_kids edges to strictly later nodes.
+    uint32_t attempts = static_cast<uint32_t>(avg_kids) +
+                        (unit(rng) < (avg_kids - static_cast<uint32_t>(avg_kids))
+                             ? 1u
+                             : 0u);
+    for (uint32_t k = 0; k < attempts; ++k) {
+      uint32_t j = i + 1 + static_cast<uint32_t>(rng() % (n - i - 1));
+      if (store->AddSetMember(kids, data.people[i], {}, data.people[j])) {
+        ++data.num_edges;
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace pathlog

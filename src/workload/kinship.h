@@ -1,0 +1,38 @@
+// Kinship graphs for the transitive-closure experiments (paper
+// section 6: `desc` and the generic `kids.tc`). Three shapes with
+// different closure densities:
+//   Chain     — closure size Theta(n^2): the naive-vs-semi-naive
+//               worst case;
+//   Tree      — closure size Theta(n log n) for fixed branching;
+//   RandomDag — layered random DAG, tunable average out-degree.
+
+#ifndef PATHLOG_WORKLOAD_KINSHIP_H_
+#define PATHLOG_WORKLOAD_KINSHIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "store/object_store.h"
+
+namespace pathlog {
+
+struct KinshipData {
+  std::vector<Oid> people;
+  size_t num_edges = 0;
+};
+
+/// kids(p_i) = {p_{i+1}} for i in [0, n-1).
+KinshipData GenerateChain(ObjectStore* store, uint32_t n,
+                          const char* prefix = "p");
+
+/// Complete `branching`-ary tree with n nodes, kids = children.
+KinshipData GenerateTree(ObjectStore* store, uint32_t n, uint32_t branching,
+                         const char* prefix = "t");
+
+/// Layered DAG: each node gets ~avg_kids edges to strictly later nodes.
+KinshipData GenerateRandomDag(ObjectStore* store, uint32_t n, double avg_kids,
+                              uint64_t seed, const char* prefix = "d");
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_WORKLOAD_KINSHIP_H_

@@ -1,0 +1,50 @@
+#include "workload/people.h"
+
+#include <random>
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+PeopleData GeneratePeople(ObjectStore* store, const PeopleConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  auto pick = [&](size_t n) { return static_cast<size_t>(rng() % n); };
+  auto chance = [&](double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+  };
+
+  PeopleData data;
+  data.person_class = store->InternSymbol("person");
+  const Oid m_street = store->InternSymbol("street");
+  const Oid m_city = store->InternSymbol("city");
+  const Oid m_spouse = store->InternSymbol("spouse");
+
+  for (uint32_t i = 0; i < cfg.num_cities; ++i) {
+    data.cities.push_back(store->InternSymbol(StrCat("pcity", i)));
+  }
+  for (uint32_t i = 0; i < cfg.num_streets; ++i) {
+    data.streets.push_back(store->InternSymbol(StrCat("street", i)));
+  }
+  for (uint32_t i = 0; i < cfg.num_persons; ++i) {
+    Oid p = store->InternSymbol(StrCat("person", i));
+    data.persons.push_back(p);
+    (void)store->AddIsa(p, data.person_class);
+    if (chance(cfg.has_street_fraction)) {
+      (void)store->SetScalar(m_street, p, {},
+                             data.streets[pick(data.streets.size())]);
+    }
+    (void)store->SetScalar(m_city, p, {},
+                           data.cities[pick(data.cities.size())]);
+  }
+  // Pair up spouses among consecutive persons.
+  for (uint32_t i = 0; i + 1 < cfg.num_persons; i += 2) {
+    if (!chance(cfg.married_fraction)) continue;
+    Oid a = data.persons[i];
+    Oid b = data.persons[i + 1];
+    (void)store->SetScalar(m_spouse, a, {}, b);
+    (void)store->SetScalar(m_spouse, b, {}, a);
+  }
+  return data;
+}
+
+}  // namespace pathlog

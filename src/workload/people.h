@@ -1,0 +1,39 @@
+// Synthetic person database for the virtual-object experiments
+// (paper example 2.4: restructuring street/city attributes into
+// virtual address objects, after [AB91]).
+
+#ifndef PATHLOG_WORKLOAD_PEOPLE_H_
+#define PATHLOG_WORKLOAD_PEOPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "store/object_store.h"
+
+namespace pathlog {
+
+struct PeopleConfig {
+  uint32_t num_persons = 1000;
+  uint32_t num_cities = 20;
+  uint32_t num_streets = 200;
+  /// Fraction of persons with a spouse (spouse is symmetric).
+  double married_fraction = 0.4;
+  /// Fraction of persons with a street attribute (the rest exercise
+  /// kRequireDefined vs kSkolemize head-value semantics).
+  double has_street_fraction = 1.0;
+  uint64_t seed = 7;
+};
+
+struct PeopleData {
+  Oid person_class = kNilOid;
+  std::vector<Oid> persons;
+  std::vector<Oid> cities;
+  std::vector<Oid> streets;
+};
+
+/// Methods used: street, city, spouse (scalar on persons).
+PeopleData GeneratePeople(ObjectStore* store, const PeopleConfig& config);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_WORKLOAD_PEOPLE_H_

@@ -1,0 +1,188 @@
+#include "ast/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/program.h"
+#include "parser/parser.h"
+
+namespace pathlog {
+namespace {
+
+bool SetValued(std::string_view src) {
+  Result<RefPtr> r = ParseRef(src);
+  EXPECT_TRUE(r.ok()) << src << ": " << r.status();
+  return r.ok() && IsSetValued(**r);
+}
+
+Status WellFormed(std::string_view src) {
+  Result<RefPtr> r = ParseRef(src);
+  EXPECT_TRUE(r.ok()) << src << ": " << r.status();
+  if (!r.ok()) return r.status();
+  return CheckWellFormed(**r);
+}
+
+// --- Definition 2 (scalarity), on the paper's own examples ----------
+
+TEST(ScalarityTest, SimpleReferencesAreScalar) {
+  EXPECT_FALSE(SetValued("mary"));
+  EXPECT_FALSE(SetValued("X"));
+  EXPECT_FALSE(SetValued("30"));
+  EXPECT_FALSE(SetValued("(mary)"));
+}
+
+TEST(ScalarityTest, ScalarPathStaysScalar) {
+  EXPECT_FALSE(SetValued("p1.age"));                  // (4.1 context)
+  EXPECT_FALSE(SetValued("mary.spouse.age"));
+}
+
+TEST(ScalarityTest, SetPathIsSetValued) {
+  EXPECT_TRUE(SetValued("p1..assistants"));           // (4.1)
+}
+
+TEST(ScalarityTest, MoleculeOnSetPathIsSetValued) {
+  EXPECT_TRUE(SetValued("p1..assistants[salary->1000]"));  // (4.2)
+}
+
+TEST(ScalarityTest, ScalarMethodOnSetBaseIsSetValued) {
+  // "p1..assistants.salary also is set-valued".
+  EXPECT_TRUE(SetValued("p1..assistants.salary"));
+  EXPECT_TRUE(SetValued("p1..assistants..projects"));
+}
+
+TEST(ScalarityTest, SetValuedArgumentMakesScalarPathSetValued) {
+  // p1.paidFor@(p1..vehicles): a set passed as a parameter.
+  EXPECT_TRUE(SetValued("p1.paidFor@(p1..vehicles)"));
+  EXPECT_FALSE(SetValued("p1.paidFor@(v1)"));
+}
+
+TEST(ScalarityTest, MoleculeScalarityComesFromFirstSubreferenceOnly) {
+  // (4.4): p2[friends->>p1..assistants] is *scalar* — it specifies a
+  // property of p2 even though it contains a set-valued sub-reference.
+  EXPECT_FALSE(SetValued("p2[friends->>p1..assistants]"));
+  EXPECT_FALSE(SetValued("p2[friends->>{p3,p4}]"));
+  EXPECT_TRUE(SetValued("p1..assistants[salary->1000]"));
+}
+
+TEST(ScalarityTest, ParensPreserveScalarity) {
+  EXPECT_TRUE(SetValued("(p1..assistants)"));
+  EXPECT_FALSE(SetValued("(p1.age)"));
+}
+
+TEST(ScalarityTest, SetValuedMethodReferenceMakesPathSetValued) {
+  // A `.` path whose *method* is set-valued is set-valued (Def. 2).
+  EXPECT_TRUE(SetValued("x.(a..ms)"));
+}
+
+// --- Definition 3 (well-formedness) ---------------------------------
+
+TEST(WellFormedTest, PaperExamplesAccepted) {
+  EXPECT_TRUE(WellFormed("p1..assistants[salary->1000]").ok());
+  EXPECT_TRUE(WellFormed("p2[friends->>{p3,p4}]").ok());
+  EXPECT_TRUE(WellFormed("p2[friends->>p1..assistants]").ok());
+  EXPECT_TRUE(WellFormed("p1..assistants.salary").ok());
+  EXPECT_TRUE(WellFormed("p1..assistants..projects").ok());
+  EXPECT_TRUE(WellFormed("p1.paidFor@(p1..vehicles)").ok());
+}
+
+TEST(WellFormedTest, Formula45Rejected) {
+  // (4.5): a set-valued reference as the result of a *scalar* method.
+  Status st = WellFormed("p2[boss->p1..assistants]");
+  EXPECT_EQ(st.code(), StatusCode::kIllFormed);
+}
+
+TEST(WellFormedTest, ScalarRefAfterDoubleArrowRejected) {
+  // `->>` needs a set-valued reference or an explicit set.
+  Status st = WellFormed("p2[friends->>p3]");
+  EXPECT_EQ(st.code(), StatusCode::kIllFormed);
+  EXPECT_NE(st.message().find("->>{"), std::string::npos);
+}
+
+TEST(WellFormedTest, SetValuedMethodInMoleculeRejected) {
+  EXPECT_EQ(WellFormed("x[(a..ms)->y]").code(), StatusCode::kIllFormed);
+}
+
+TEST(WellFormedTest, SetValuedClassRejected) {
+  EXPECT_EQ(WellFormed("x:(a..classes)").code(), StatusCode::kIllFormed);
+}
+
+TEST(WellFormedTest, SetValuedFilterArgumentRejected) {
+  EXPECT_EQ(WellFormed("x[m@(a..bs)->y]").code(), StatusCode::kIllFormed);
+}
+
+TEST(WellFormedTest, SetValuedSetElementRejected) {
+  EXPECT_EQ(WellFormed("x[m->>{a..bs}]").code(), StatusCode::kIllFormed);
+}
+
+TEST(WellFormedTest, PathsAreLiberal) {
+  // "well-formedness only restricts ... molecules, but not paths".
+  EXPECT_TRUE(WellFormed("p1..assistants.salary.boss").ok());
+  EXPECT_TRUE(WellFormed("x.m@(a..bs, c..ds)").ok());
+}
+
+// --- Rule-level checks ------------------------------------------------
+
+TEST(RuleWellFormedTest, SetValuedHeadRejected) {
+  Result<Rule> rule = ParseRule("X..friends[a->1] <- X:person.");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(CheckRuleWellFormed(*rule).code(), StatusCode::kIllFormed);
+}
+
+TEST(RuleWellFormedTest, BareNameHeadRejected) {
+  Result<Rule> rule = ParseRule("mary <- X:person.");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(CheckRuleWellFormed(*rule).code(), StatusCode::kIllFormed);
+}
+
+TEST(RuleWellFormedTest, NonGroundFactRejected) {
+  Result<Rule> rule = ParseRule("X[age->30].");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(CheckRuleWellFormed(*rule).code(), StatusCode::kIllFormed);
+}
+
+TEST(RuleWellFormedTest, GoodRulesAccepted) {
+  for (const char* src : {
+           "mary[age->30].",
+           "X[power->Y] <- X:automobile.engine[power->Y].",
+           "X.boss[worksFor->D] <- X:employee[worksFor->D].",
+           "X[(M.tc)->>{Y}] <- X[M->>{Y}].",
+           "p2[friends->>p1..assistants].",
+       }) {
+    Result<Rule> rule = ParseRule(src);
+    ASSERT_TRUE(rule.ok()) << src;
+    EXPECT_TRUE(CheckRuleWellFormed(*rule).ok()) << src;
+  }
+}
+
+// --- Variable collection ---------------------------------------------
+
+TEST(VarsTest, CollectsFromEveryPosition) {
+  Result<RefPtr> r =
+      ParseRef("X[M@(A)->>B..ms]:C.n@(D)");
+  ASSERT_TRUE(r.ok());
+  std::set<std::string> vars = VarsOf(**r);
+  EXPECT_EQ(vars, (std::set<std::string>{"X", "M", "A", "B", "C", "D"}));
+}
+
+TEST(VarsTest, GroundDetection) {
+  Result<RefPtr> g = ParseRef("mary.spouse[age->30]");
+  Result<RefPtr> v = ParseRef("mary.spouse[age->X]");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(IsGround(**g));
+  EXPECT_FALSE(IsGround(**v));
+}
+
+TEST(SimpleRefTest, Definition1MethodPositions) {
+  Result<RefPtr> name = ParseRef("m");
+  Result<RefPtr> var = ParseRef("M");
+  Result<RefPtr> paren = ParseRef("(kids.tc)");
+  Result<RefPtr> path = ParseRef("kids.tc");
+  ASSERT_TRUE(name.ok() && var.ok() && paren.ok() && path.ok());
+  EXPECT_TRUE(IsSimpleRef(**name));
+  EXPECT_TRUE(IsSimpleRef(**var));
+  EXPECT_TRUE(IsSimpleRef(**paren));
+  EXPECT_FALSE(IsSimpleRef(**path));
+}
+
+}  // namespace
+}  // namespace pathlog

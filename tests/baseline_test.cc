@@ -1,0 +1,190 @@
+// The baseline evaluators (join-plan, nested-loop) must agree with
+// PathLog's navigational evaluator on the relational fragment.
+
+#include "baseline/conjunctive.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/operators.h"
+#include "baseline/translate.h"
+#include "parser/parser.h"
+#include "query/database.h"
+
+namespace pathlog {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Load(R"(
+      automobile :: vehicle.
+      mary : employee[age->30; city->newYork].
+      john : employee[age->30; city->detroit].
+      sue  : employee[age->40; city->newYork].
+      mary[vehicles->>{car1,bike1}].
+      john[vehicles->>{car2}].
+      sue[vehicles->>{car3}].
+      car1 : automobile[cylinders->4; color->red].
+      car2 : automobile[cylinders->8; color->blue].
+      car3 : automobile[cylinders->4; color->green].
+      bike1 : vehicle[color->red].
+    )").ok());
+  }
+
+  /// Sorted distinct rows of one variable from a PathLog query.
+  std::vector<std::string> PathLogColumn(std::string_view query,
+                                         const std::string& var) {
+    Result<ResultSet> rs = db_.Query(query);
+    EXPECT_TRUE(rs.ok()) << rs.status();
+    return rs.ok() ? rs->Column(var, db_.store())
+                   : std::vector<std::string>{};
+  }
+
+  std::vector<std::string> RelationColumn(const Relation& rel,
+                                          const std::string& col) {
+    std::set<std::string> names;
+    std::optional<size_t> idx = rel.ColumnIndex(col);
+    EXPECT_TRUE(idx.has_value()) << col;
+    if (!idx) return {};
+    for (const std::vector<Oid>& row : rel.rows()) {
+      names.insert(db_.store().DisplayName(row[*idx]));
+    }
+    return std::vector<std::string>(names.begin(), names.end());
+  }
+
+  FlatQuery Flatten(std::string_view query_text) {
+    Result<struct Query> q = ParseQuery(query_text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    Result<FlatQuery> fq = FlattenLiterals(q->body, &db_.store());
+    EXPECT_TRUE(fq.ok()) << fq.status();
+    return fq.ok() ? *fq : FlatQuery{};
+  }
+
+  Database db_;
+};
+
+TEST_F(BaselineTest, OperatorsScanSelectJoinProject) {
+  ObjectStore& s = db_.store();
+  Oid employee = *s.FindSymbol("employee");
+  Oid vehicles = *s.FindSymbol("vehicles");
+  Oid color = *s.FindSymbol("color");
+  Oid red = *s.FindSymbol("red");
+
+  Relation emps = ScanClass(s, employee, "X");
+  EXPECT_EQ(emps.NumRows(), 3u);
+  Relation veh = ScanSet(s, vehicles, "X", "V");
+  EXPECT_EQ(veh.NumRows(), 4u);
+  Relation col = ScanScalar(s, color, "V", "C");
+  EXPECT_EQ(col.NumRows(), 4u);
+
+  Relation joined = HashJoin(HashJoin(emps, veh), col);
+  EXPECT_EQ(joined.NumRows(), 4u);
+  Relation reds = Select(joined, "C", red);
+  EXPECT_EQ(reds.NumRows(), 2u);  // mary's car1 and bike1
+  Relation owners = Project(reds, {"X"});
+  EXPECT_EQ(RelationColumn(owners, "X"), (std::vector<std::string>{"mary"}));
+}
+
+TEST_F(BaselineTest, CrossProductWhenNoSharedColumns) {
+  ObjectStore& s = db_.store();
+  Relation a = ScanClass(s, *s.FindSymbol("employee"), "X");
+  Relation b = ScanClass(s, *s.FindSymbol("automobile"), "Y");
+  Relation cross = HashJoin(a, b);
+  EXPECT_EQ(cross.NumRows(), 9u);
+  EXPECT_EQ(cross.NumCols(), 2u);
+}
+
+TEST_F(BaselineTest, FlattenDecomposesPathsIntoAtoms) {
+  FlatQuery fq = Flatten("?- X:employee..vehicles[color->red].");
+  // member(X, employee), setmember(vehicles, X, $p0), scalar(color,$p0,red)
+  ASSERT_EQ(fq.atoms.size(), 3u);
+  EXPECT_EQ(fq.atoms[0].kind, BAtom::Kind::kMember);
+  EXPECT_EQ(fq.atoms[1].kind, BAtom::Kind::kSetMember);
+  EXPECT_EQ(fq.atoms[2].kind, BAtom::Kind::kScalar);
+  EXPECT_EQ(fq.select, (std::vector<std::string>{"X"}));
+}
+
+TEST_F(BaselineTest, SelfFilterBecomesEquality) {
+  FlatQuery fq = Flatten("?- X..vehicles.color[Z].");
+  bool has_eq = false;
+  for (const BAtom& a : fq.atoms) has_eq |= a.kind == BAtom::Kind::kEq;
+  EXPECT_TRUE(has_eq);
+}
+
+TEST_F(BaselineTest, UnsupportedFeaturesRejected) {
+  Result<struct Query> q1 = ParseQuery("?- X[friends->>p1..assistants].");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(FlattenLiterals(q1->body, &db_.store()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Result<struct Query> q2 = ParseQuery("?- X.salary@(1994)[S].");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(FlattenLiterals(q2->body, &db_.store()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Result<struct Query> q3 = ParseQuery("?- X:employee, not X[age->30].");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_EQ(FlattenLiterals(q3->body, &db_.store()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The three evaluators agree on the paper's queries.
+TEST_F(BaselineTest, AllEvaluatorsAgreeOnPaperQueries) {
+  const struct {
+    const char* query;
+    const char* var;
+  } kCases[] = {
+      // (1.1)/(1.2)/(1.3): colors of employees' automobiles.
+      {"?- X:employee[vehicles->>{Y:automobile}], Y[color->Z].", "Z"},
+      // (1.4)/(2.2): with the 4-cylinder restriction.
+      {"?- X:employee..vehicles:automobile[cylinders->4].color[Z].", "Z"},
+      // Owners of red vehicles.
+      {"?- X:employee..vehicles[color->red].", "X"},
+      // Two-attribute second dimension.
+      {"?- X:employee[age->30; city->newYork]..vehicles.color[Z].", "Z"},
+  };
+  for (const auto& c : kCases) {
+    std::vector<std::string> pathlog = PathLogColumn(c.query, c.var);
+    FlatQuery fq = Flatten(c.query);
+    Result<Relation> join = EvalJoinPlan(db_.store(), fq);
+    ASSERT_TRUE(join.ok()) << c.query << ": " << join.status();
+    Result<Relation> loop = EvalNestedLoop(db_.store(), fq);
+    ASSERT_TRUE(loop.ok()) << c.query << ": " << loop.status();
+    EXPECT_EQ(RelationColumn(*join, c.var), pathlog) << c.query;
+    EXPECT_EQ(RelationColumn(*loop, c.var), pathlog) << c.query;
+  }
+}
+
+TEST_F(BaselineTest, ConstantsInAtomsHandled) {
+  FlatQuery fq = Flatten("?- mary[vehicles->>{V}].");
+  Result<Relation> join = EvalJoinPlan(db_.store(), fq);
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(RelationColumn(*join, "V"),
+            (std::vector<std::string>{"bike1", "car1"}));
+  Result<Relation> loop = EvalNestedLoop(db_.store(), fq);
+  ASSERT_TRUE(loop.ok());
+  EXPECT_EQ(RelationColumn(*loop, "V"),
+            (std::vector<std::string>{"bike1", "car1"}));
+}
+
+TEST_F(BaselineTest, EmptyAnswers) {
+  FlatQuery fq = Flatten("?- X:employee[age->99].");
+  Result<Relation> join = EvalJoinPlan(db_.store(), fq);
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join->NumRows(), 0u);
+  Result<Relation> loop = EvalNestedLoop(db_.store(), fq);
+  ASSERT_TRUE(loop.ok());
+  EXPECT_EQ(loop->NumRows(), 0u);
+}
+
+TEST_F(BaselineTest, RelationToStringBounded) {
+  ObjectStore& s = db_.store();
+  Relation emps = ScanClass(s, *s.FindSymbol("employee"), "X");
+  std::string text = emps.ToString(s, 2);
+  EXPECT_NE(text.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,81 @@
+// The backtracking bindings trail.
+
+#include "eval/bindings.h"
+
+#include <gtest/gtest.h>
+
+namespace pathlog {
+namespace {
+
+TEST(BindingsTest, BindAndGet) {
+  Bindings b;
+  EXPECT_FALSE(b.IsBound("X"));
+  EXPECT_EQ(b.Get("X"), std::nullopt);
+  b.Bind("X", 7);
+  EXPECT_TRUE(b.IsBound("X"));
+  EXPECT_EQ(b.Get("X"), 7u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BindingsTest, MarkUndoRollsBackExactly) {
+  Bindings b;
+  b.Bind("X", 1);
+  size_t mark = b.Mark();
+  b.Bind("Y", 2);
+  b.Bind("Z", 3);
+  EXPECT_EQ(b.size(), 3u);
+  b.Undo(mark);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.IsBound("X"));
+  EXPECT_FALSE(b.IsBound("Y"));
+  EXPECT_FALSE(b.IsBound("Z"));
+}
+
+TEST(BindingsTest, NestedMarks) {
+  Bindings b;
+  size_t m0 = b.Mark();
+  b.Bind("A", 1);
+  size_t m1 = b.Mark();
+  b.Bind("B", 2);
+  size_t m2 = b.Mark();
+  b.Bind("C", 3);
+  b.Undo(m2);
+  EXPECT_TRUE(b.IsBound("B"));
+  EXPECT_FALSE(b.IsBound("C"));
+  b.Undo(m1);
+  EXPECT_TRUE(b.IsBound("A"));
+  EXPECT_FALSE(b.IsBound("B"));
+  b.Undo(m0);
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(BindingsTest, UndoToCurrentMarkIsNoop) {
+  Bindings b;
+  b.Bind("X", 1);
+  b.Undo(b.Mark());
+  EXPECT_TRUE(b.IsBound("X"));
+}
+
+TEST(BindingsTest, ToValuationSnapshots) {
+  Bindings b;
+  b.Bind("X", 1);
+  b.Bind("Y", 2);
+  VarValuation v = b.ToValuation();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at("X"), 1u);
+  EXPECT_EQ(v.at("Y"), 2u);
+  b.Undo(0);
+  EXPECT_EQ(v.size(), 2u);  // independent snapshot
+}
+
+TEST(BindingsTest, RebindAfterUndo) {
+  Bindings b;
+  size_t mark = b.Mark();
+  b.Bind("X", 1);
+  b.Undo(mark);
+  b.Bind("X", 9);
+  EXPECT_EQ(b.Get("X"), 9u);
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,128 @@
+// Built-in methods: self (paper section 4.1) and the comparison-guard
+// extension (identity-preserving partial methods on integers).
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "query/database.h"
+#include "semantics/structure.h"
+#include "semantics/valuation.h"
+
+namespace pathlog {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Load(R"(
+      a : employee[salary->900;  age->30].
+      b : employee[salary->1500; age->40].
+      c : employee[salary->2500; age->50].
+    )").ok());
+  }
+
+  std::vector<std::string> Col(std::string_view query,
+                               const std::string& var) {
+    Result<ResultSet> rs = db_.Query(query);
+    EXPECT_TRUE(rs.ok()) << query << ": " << rs.status();
+    return rs.ok() ? rs->Column(var, db_.store())
+                   : std::vector<std::string>{};
+  }
+
+  bool Holds(std::string_view ref) {
+    Result<bool> h = db_.Holds(ref);
+    EXPECT_TRUE(h.ok()) << ref << ": " << h.status();
+    return h.ok() && *h;
+  }
+
+  Database db_;
+};
+
+TEST_F(BuiltinsTest, GuardAsGroundFormula) {
+  EXPECT_TRUE(Holds("900.lt@(1000)"));
+  EXPECT_FALSE(Holds("1500.lt@(1000)"));
+  EXPECT_TRUE(Holds("1500.geq@(1500)"));
+  EXPECT_FALSE(Holds("1500.gt@(1500)"));
+  EXPECT_TRUE(Holds("1500.leq@(1500)"));
+  EXPECT_TRUE(Holds("30.intEq@(30)"));
+  EXPECT_TRUE(Holds("30.intNeq@(31)"));
+  EXPECT_FALSE(Holds("30.intNeq@(30)"));
+  EXPECT_TRUE(Holds("40.between@(30,50)"));
+  EXPECT_FALSE(Holds("29.between@(30,50)"));
+}
+
+TEST_F(BuiltinsTest, GuardDenotesItsReceiver) {
+  Result<std::vector<Oid>> v = db_.Eval("900.lt@(1000)");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 1u);
+  EXPECT_EQ(db_.DisplayName((*v)[0]), "900");
+}
+
+TEST_F(BuiltinsTest, GuardsFilterQueryAnswers) {
+  EXPECT_EQ(Col("?- X:employee[salary->S], S.geq@(1500).", "X"),
+            (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(Col("?- X:employee[salary->S], S.between@(1000,2000).", "X"),
+            (std::vector<std::string>{"b"}));
+  // Guards compose with paths: the salary itself flows on.
+  EXPECT_EQ(Col("?- X:employee[salary->S.lt@(1000)], X[age->A].", "A"),
+            (std::vector<std::string>{"30"}));
+}
+
+TEST_F(BuiltinsTest, GuardsOnNonIntegersAreUndefined) {
+  EXPECT_FALSE(Holds("a.lt@(1000)"));
+  EXPECT_FALSE(Holds("900.lt@(a)"));
+  EXPECT_FALSE(Holds("900.between@(1,a)"));
+}
+
+TEST_F(BuiltinsTest, GuardsWorkInRules) {
+  ASSERT_TRUE(db_.Load(R"(
+    X[wellPaid->yes] <- X:employee[salary->S], S.geq@(1500).
+  )").ok());
+  EXPECT_EQ(Col("?- X[wellPaid->yes].", "X"),
+            (std::vector<std::string>{"b", "c"}));
+}
+
+TEST_F(BuiltinsTest, GuardsMatchDefinition4Semantics) {
+  // Valuate is below the Database front end: intern the query names.
+  db_.store().InternInt(1000);
+  db_.store().InternSymbol(std::string(kLtName));
+  SemanticStructure I(db_.store());
+  Result<RefPtr> ok = ParseRef("900.lt@(1000)");
+  Result<RefPtr> no = ParseRef("2500.lt@(1000)");
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(no.ok());
+  Result<bool> e1 = Entails(I, **ok, {});
+  Result<bool> e2 = Entails(I, **no, {});
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_TRUE(*e1);
+  EXPECT_FALSE(*e2);
+}
+
+TEST_F(BuiltinsTest, BuiltinsCannotBeDefinedInHeads) {
+  Status st = db_.Load("X[lt@(5)->X] <- X:employee.");
+  ASSERT_TRUE(st.ok());  // loading is fine; the head check fires at run
+  EXPECT_EQ(db_.Materialize().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(BuiltinsTest, SelfCannotBeDefinedInHeads) {
+  Database db;
+  ASSERT_TRUE(db.Load("X[self->X] <- X:employee. e:employee.").ok());
+  EXPECT_EQ(db.Materialize().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(BuiltinsTest, StoredFactsDoNotShadowGuards) {
+  // A user symbol `lt` with stored facts would be ambiguous; builtins
+  // win, so the guard semantics stays stable.
+  EXPECT_TRUE(Holds("900.lt@(901)"));
+}
+
+TEST_F(BuiltinsTest, GuardInFilterPosition) {
+  // Guards can appear as molecule filters too: value position receives
+  // the receiver.
+  EXPECT_EQ(Col("?- X:employee[salary->S], S[lt@(1000)->V].", "V"),
+            (std::vector<std::string>{"900"}));
+}
+
+}  // namespace
+}  // namespace pathlog

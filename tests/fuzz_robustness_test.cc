@@ -1,0 +1,99 @@
+// Robustness fuzzing (deterministic): random token soups and mutated
+// valid programs must produce Status errors or parses — never crashes
+// — and everything that parses must print-and-reparse.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ast/printer.h"
+#include "parser/parser.h"
+#include "query/database.h"
+
+namespace pathlog {
+namespace {
+
+const char* const kFragments[] = {
+    "mary", "X",    "30",  "-1",  "\"s\"", ".",   "..",  ":",   "::",
+    "->",   "->>",  "=>",  "=>>", "<-",    "<~",  "?-",  "@",   "(",
+    ")",    "[",    "]",   "{",   "}",     ",",   ";",   "not", " ",
+    "self", "kids", "tc",  "%c\n",
+};
+
+std::string RandomSoup(std::mt19937_64* rng, int len) {
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    out += kFragments[(*rng)() % std::size(kFragments)];
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, TokenSoupNeverCrashesParser) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    std::string soup = RandomSoup(&rng, 1 + static_cast<int>(rng() % 30));
+    Result<Program> p = ParseProgram(soup);
+    if (!p.ok()) {
+      EXPECT_EQ(p.status().code(), StatusCode::kParseError) << soup;
+      continue;
+    }
+    // Whatever parsed must print and reparse.
+    std::string printed = ToString(*p);
+    Result<Program> again = ParseProgram(printed);
+    EXPECT_TRUE(again.ok()) << "printed form failed: " << printed;
+  }
+}
+
+TEST_P(FuzzTest, TokenSoupNeverCrashesDatabaseLoad) {
+  std::mt19937_64 rng(GetParam() + 77);
+  Database db;
+  for (int i = 0; i < 200; ++i) {
+    std::string soup = RandomSoup(&rng, 1 + static_cast<int>(rng() % 20));
+    // Any Status outcome is fine; crashing or hanging is not.
+    (void)db.Load(soup);
+  }
+  // The database must still work afterwards.
+  ASSERT_TRUE(db.Load("sanity[ok->1].").ok());
+  Result<bool> ok = db.Holds("sanity[ok->1]");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_P(FuzzTest, MutatedValidProgramNeverCrashes) {
+  const std::string valid = R"(
+    manager :: employee.
+    mary : employee[age->30; city->newYork].
+    mary[vehicles->>{car1, bike1}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+    X[(M.tc)->>{Y}] <- X..(M.tc)[M->>{Y}].
+  )";
+  std::mt19937_64 rng(GetParam() + 555);
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = valid;
+    // Flip, delete, or duplicate a few characters.
+    for (int k = 0; k < 3; ++k) {
+      size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0:
+          mutated[pos] = static_cast<char>(' ' + rng() % 95);
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+    }
+    Database db;
+    (void)db.Load(mutated);  // any Status outcome; no crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,147 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace pathlog {
+namespace {
+
+std::vector<TokenKind> KindsOf(std::string_view src) {
+  Result<std::vector<Token>> toks = Tokenize(src);
+  EXPECT_TRUE(toks.ok()) << toks.status();
+  std::vector<TokenKind> kinds;
+  if (toks.ok()) {
+    for (const Token& t : *toks) kinds.push_back(t.kind);
+  }
+  return kinds;
+}
+
+using TK = TokenKind;
+
+TEST(LexerTest, NamesAndVariables) {
+  auto kinds = KindsOf("mary X _anon boss Zebra");
+  EXPECT_EQ(kinds, (std::vector<TK>{TK::kName, TK::kVar, TK::kVar, TK::kName,
+                                    TK::kVar, TK::kEof}));
+}
+
+TEST(LexerTest, DotDisambiguation) {
+  // Path dots before identifiers/parens, terminator otherwise.
+  auto kinds = KindsOf("mary.spouse.age.");
+  EXPECT_EQ(kinds, (std::vector<TK>{TK::kName, TK::kPathDot, TK::kName,
+                                    TK::kPathDot, TK::kName, TK::kTermDot,
+                                    TK::kEof}));
+}
+
+TEST(LexerTest, DotBeforeParenIsPathDot) {
+  auto kinds = KindsOf("X..(M.tc)");
+  EXPECT_EQ(kinds, (std::vector<TK>{TK::kVar, TK::kDotDot, TK::kLParen,
+                                    TK::kVar, TK::kPathDot, TK::kName,
+                                    TK::kRParen, TK::kEof}));
+}
+
+TEST(LexerTest, TerminatorAfterBracketsAndInts) {
+  auto kinds = KindsOf("X[age->30]. Y.");
+  EXPECT_EQ(kinds,
+            (std::vector<TK>{TK::kVar, TK::kLBracket, TK::kName, TK::kArrow,
+                             TK::kInt, TK::kRBracket, TK::kTermDot, TK::kVar,
+                             TK::kTermDot, TK::kEof}));
+}
+
+TEST(LexerTest, Arrows) {
+  auto kinds = KindsOf("-> ->> => =>> <- :- ?-");
+  EXPECT_EQ(kinds,
+            (std::vector<TK>{TK::kArrow, TK::kDArrow, TK::kSigArrow,
+                             TK::kSigDArrow, TK::kIf, TK::kIf, TK::kQuery,
+                             TK::kEof}));
+}
+
+TEST(LexerTest, ColonAndDoubleColonBothLexAsColon) {
+  auto kinds = KindsOf("a : b :: c");
+  EXPECT_EQ(kinds, (std::vector<TK>{TK::kName, TK::kColon, TK::kName,
+                                    TK::kColon, TK::kName, TK::kEof}));
+}
+
+TEST(LexerTest, IntegersIncludingNegative) {
+  Result<std::vector<Token>> toks = Tokenize("30 -5 0");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].int_value, 30);
+  EXPECT_EQ((*toks)[1].int_value, -5);
+  EXPECT_EQ((*toks)[2].int_value, 0);
+}
+
+TEST(LexerTest, IntegerOverflowIsAnErrorNotACrash) {
+  EXPECT_FALSE(Tokenize("99999999999999999999999999").ok());
+  EXPECT_FALSE(Tokenize("-99999999999999999999999999").ok());
+  // The extremes are fine.
+  Result<std::vector<Token>> max = Tokenize("9223372036854775807");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ((*max)[0].int_value, INT64_MAX);
+  Result<std::vector<Token>> min = Tokenize("-9223372036854775808");
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ((*min)[0].int_value, INT64_MIN);
+  // One past the extremes is rejected.
+  EXPECT_FALSE(Tokenize("9223372036854775808").ok());
+  EXPECT_FALSE(Tokenize("-9223372036854775809").ok());
+}
+
+TEST(LexerTest, Strings) {
+  Result<std::vector<Token>> toks = Tokenize(R"("hello world" "a\"b\n")");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TK::kString);
+  EXPECT_EQ((*toks)[0].text, "hello world");
+  EXPECT_EQ((*toks)[1].text, "a\"b\n");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Result<std::vector<Token>> toks = Tokenize("\"oops");
+  EXPECT_FALSE(toks.ok());
+  EXPECT_EQ(toks.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, Comments) {
+  auto kinds = KindsOf(
+      "a % line comment\n"
+      "b // another\n"
+      "/* block\n comment */ c");
+  EXPECT_EQ(kinds,
+            (std::vector<TK>{TK::kName, TK::kName, TK::kName, TK::kEof}));
+}
+
+TEST(LexerTest, NotKeyword) {
+  auto kinds = KindsOf("not nothing");
+  // `nothing` is an identifier, `not` the keyword.
+  EXPECT_EQ(kinds, (std::vector<TK>{TK::kNot, TK::kName, TK::kEof}));
+}
+
+TEST(LexerTest, PunctuationInventory) {
+  auto kinds = KindsOf("@ ( ) [ ] { } , ;");
+  EXPECT_EQ(kinds, (std::vector<TK>{TK::kAt, TK::kLParen, TK::kRParen,
+                                    TK::kLBracket, TK::kRBracket, TK::kLBrace,
+                                    TK::kRBrace, TK::kComma, TK::kSemicolon,
+                                    TK::kEof}));
+}
+
+TEST(LexerTest, UnexpectedCharacterReportsPosition) {
+  Result<std::vector<Token>> toks = Tokenize("abc\n  #");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, BareMinusFails) {
+  EXPECT_FALSE(Tokenize("a - b").ok());
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  Result<std::vector<Token>> toks = Tokenize("a\n  bcd");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[1].column, 3);
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto kinds = KindsOf("   \n\t ");
+  EXPECT_EQ(kinds, (std::vector<TK>{TK::kEof}));
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,372 @@
+// Integration suite: every numbered example of the paper, executed
+// against the paper's own scenario and checked for the claimed
+// behaviour. EXPERIMENTS.md indexes these tests by example number.
+
+#include <gtest/gtest.h>
+
+#include "ast/analysis.h"
+#include "parser/parser.h"
+#include "query/database.h"
+
+namespace pathlog {
+namespace {
+
+/// The employee/vehicle universe used throughout sections 1-2.
+constexpr const char* kCompanyFacts = R"(
+  manager :: employee.
+  automobile :: vehicle.
+
+  mary : employee[age->30; city->newYork].
+  mary[vehicles->>{car1, bike1}].
+  car1 : automobile[cylinders->4; color->red; producedBy->acme].
+  bike1 : vehicle[color->green].
+
+  jim : manager[age->30; city->newYork].
+  jim[vehicles->>{car2}].
+  car2 : automobile[cylinders->4; color->red; producedBy->detroitMotors].
+
+  sue : manager[age->45; city->detroit].
+  sue[vehicles->>{car3}].
+  car3 : automobile[cylinders->8; color->red; producedBy->detroitMotors].
+
+  acme : company[city->newYork; president->sue].
+  detroitMotors : company[city->detroit; president->jim].
+
+  mary[boss->jim].
+)";
+
+class PaperExamplesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(db_.Load(kCompanyFacts).ok()); }
+
+  std::vector<std::string> Col(std::string_view query,
+                               const std::string& var) {
+    Result<ResultSet> rs = db_.Query(query);
+    EXPECT_TRUE(rs.ok()) << query << ": " << rs.status();
+    return rs.ok() ? rs->Column(var, db_.store())
+                   : std::vector<std::string>{};
+  }
+
+  std::vector<std::string> EvalNames(std::string_view ref) {
+    Result<std::vector<Oid>> r = db_.Eval(ref);
+    EXPECT_TRUE(r.ok()) << ref << ": " << r.status();
+    std::vector<std::string> names;
+    if (r.ok()) {
+      for (Oid o : *r) names.push_back(db_.DisplayName(o));
+      std::sort(names.begin(), names.end());
+    }
+    return names;
+  }
+
+  Database db_;
+};
+
+// --- Section 1: queries (1.1)-(1.4) ----------------------------------
+
+TEST_F(PaperExamplesTest, Query11_O2SQLStyle) {
+  // SELECT Y.color FROM X IN employee, Y IN X.vehicles
+  // WHERE Y IN automobile — as a PathLog conjunction mirroring the
+  // decomposed O2SQL form.
+  EXPECT_EQ(Col("?- X:employee, X[vehicles->>{Y:automobile}], Y.color[C].",
+                "C"),
+            (std::vector<std::string>{"red"}));
+}
+
+TEST_F(PaperExamplesTest, Query12_XSQLSelectors) {
+  // SELECT Z FROM employee X, automobile Y WHERE X.vehicles[Y].color[Z]
+  EXPECT_EQ(Col("?- X:employee..vehicles[Y]:automobile.color[Z].", "Z"),
+            (std::vector<std::string>{"red"}));
+}
+
+TEST_F(PaperExamplesTest, Query13_CalculusStyle) {
+  // { Z | employee.vehicles.automobile.color[Z] } — class names in the
+  // path, which PathLog expresses with a class molecule in the path.
+  EXPECT_EQ(EvalNames("(X:employee)..vehicles:automobile.color"),
+            (std::vector<std::string>{"red"}));
+}
+
+TEST_F(PaperExamplesTest, Query14_ConjunctionOfPaths) {
+  // XSQL needs two path conditions for the 4-cylinder restriction.
+  EXPECT_EQ(Col("?- X:employee..vehicles[Y]:automobile.color[Z], "
+                "Y[cylinders->4].",
+                "Z"),
+            (std::vector<std::string>{"red"}));
+  // sue's car3 has 8 cylinders; restricting to 8 selects red as well
+  // (all cars are red here), but restricting to 12 selects nothing.
+  EXPECT_EQ(Col("?- X:employee..vehicles[Y]:automobile.color[Z], "
+                "Y[cylinders->12].",
+                "Z"),
+            (std::vector<std::string>{}));
+}
+
+// --- Section 2: the second dimension ---------------------------------
+
+TEST_F(PaperExamplesTest, Path21_SecondDimension) {
+  // (2.1): one two-dimensional path instead of a conjunction.
+  EXPECT_EQ(Col("?- X:employee[age->30; city->newYork]"
+                "..vehicles:automobile[cylinders->4].color[Z].",
+                "Z"),
+            (std::vector<std::string>{"red"}));
+  // Only mary and jim are 30-year-old New Yorkers.
+  EXPECT_EQ(Col("?- X:employee[age->30; city->newYork]"
+                "..vehicles:automobile[cylinders->4].color[Z].",
+                "X"),
+            (std::vector<std::string>{"jim", "mary"}));
+}
+
+TEST_F(PaperExamplesTest, Equivalence_14_vs_21) {
+  // The decomposed form (1.4) and the one-path form (2.1) must agree.
+  auto one_path = Col(
+      "?- X:employee[age->30; city->newYork]"
+      "..vehicles:automobile[cylinders->4].color[Z].",
+      "Z");
+  auto conjunction = Col(
+      "?- X:employee[age->30], X[city->newYork], "
+      "X[vehicles->>{Y:automobile}], Y[cylinders->4], Y.color[Z].",
+      "Z");
+  EXPECT_EQ(one_path, conjunction);
+}
+
+TEST_F(PaperExamplesTest, Filter23_NestedPathAsReference) {
+  // (2.3): [city->X.boss.city] — mary lives where her boss jim lives.
+  EXPECT_EQ(Col("?- X:employee[city->X.boss.city].", "X"),
+            (std::vector<std::string>{"mary"}));
+}
+
+TEST_F(PaperExamplesTest, ManagerQuery_SingleReference) {
+  // Section 2: managers with a red vehicle produced in Detroit by a
+  // company they preside over. Only jim qualifies (car2, detroitMotors).
+  EXPECT_EQ(Col("?- X:manager..vehicles[color->red]"
+                ".producedBy[city->detroit; president->X].",
+                "X"),
+            (std::vector<std::string>{"jim"}));
+}
+
+TEST_F(PaperExamplesTest, Rule24_VirtualAddressObjects) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    ann : person[street->elmStreet; city->springfield].
+    bob : person[street->mainStreet; city->shelbyville].
+    X.address[street->X.street; city->X.city] <- X : person.
+  )").ok());
+  Result<ResultSet> rs =
+      db.Query("?- X:person.address[street->S; city->C].");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->size(), 2u);
+  EXPECT_TRUE(rs->ContainsRow(
+      {{"X", "ann"}, {"S", "elmStreet"}, {"C", "springfield"}}, db.store()));
+  EXPECT_TRUE(rs->ContainsRow(
+      {{"X", "bob"}, {"S", "mainStreet"}, {"C", "shelbyville"}}, db.store()));
+  // One virtual address per person.
+  EXPECT_EQ(db.engine_stats().skolems_created, 2u);
+}
+
+// --- Section 4: references (4.1)-(4.5) --------------------------------
+
+TEST_F(PaperExamplesTest, Formulas41to44_WellFormed) {
+  for (const char* src : {
+           "p1.age",                            // scalar path
+           "p1..assistants",                    // (4.1)
+           "p1..assistants[salary->1000]",      // (4.2)
+           "p2[friends->>{p3,p4}]",             // (4.3)
+           "p2[friends->>p1..assistants]",      // (4.4)
+       }) {
+    Result<RefPtr> r = ParseRef(src);
+    ASSERT_TRUE(r.ok()) << src;
+    EXPECT_TRUE(CheckWellFormed(**r).ok()) << src;
+  }
+}
+
+TEST_F(PaperExamplesTest, Formula45_IllFormed) {
+  Result<RefPtr> r = ParseRef("p2[boss->p1..assistants]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(CheckWellFormed(**r).code(), StatusCode::kIllFormed);
+}
+
+TEST_F(PaperExamplesTest, Section4_SetPathCompositions) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    p1[assistants->>{a1,a2}].
+    a1[salary->1000]. a2[salary->2000].
+    a1[projects->>{pr1,pr2}]. a2[projects->>{pr2,pr3}].
+  )").ok());
+  Result<std::vector<Oid>> salaries = db.Eval("p1..assistants.salary");
+  ASSERT_TRUE(salaries.ok());
+  EXPECT_EQ(salaries->size(), 2u);
+  Result<std::vector<Oid>> projects = db.Eval("p1..assistants..projects");
+  ASSERT_TRUE(projects.ok());
+  EXPECT_EQ(projects->size(), 3u);
+}
+
+TEST_F(PaperExamplesTest, Section4_PaidForWithSetArgument) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    p1[vehicles->>{v1,v2}].
+    p1[paidFor@(v1)->10000].
+    p1[paidFor@(v2)->5000].
+  )").ok());
+  Result<std::vector<Oid>> prices = db.Eval("p1.paidFor@(p1..vehicles)");
+  ASSERT_TRUE(prices.ok());
+  EXPECT_EQ(prices->size(), 2u);
+}
+
+// --- Section 5: semantics in action -----------------------------------
+
+TEST_F(PaperExamplesTest, Section5_BachelorSpouseIsFalse) {
+  Database db;
+  ASSERT_TRUE(db.Load("john : person.").ok());
+  Result<bool> holds = db.Holds("john.spouse");
+  ASSERT_TRUE(holds.ok());
+  EXPECT_FALSE(*holds);
+}
+
+TEST_F(PaperExamplesTest, Section5_SetReferenceTrueIfNonEmpty) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    p1[assistants->>{a1,a2}].
+    a1[salary->1000]. a2[salary->2000].
+  )").ok());
+  Result<bool> some = db.Holds("p1..assistants[salary->1000]");
+  ASSERT_TRUE(some.ok());
+  EXPECT_TRUE(*some);
+  Result<bool> none = db.Holds("p1..assistants[salary->777]");
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(*none);
+}
+
+TEST_F(PaperExamplesTest, Section5_BindingRangesOverMembers) {
+  // p1[assistants->>{X[salary->1000]}] "allows to access all such
+  // assistants" one at a time.
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    p1[assistants->>{a1,a2,a3}].
+    a1[salary->1000]. a2[salary->2000]. a3[salary->1000].
+  )").ok());
+  Result<ResultSet> rs = db.Query("?- p1[assistants->>{X[salary->1000]}].");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->Column("X", db.store()),
+            (std::vector<std::string>{"a1", "a3"}));
+}
+
+TEST_F(PaperExamplesTest, Section5_NoNestedSets) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    john[kids->>{tim,mary}].
+    tim[kids->>{sally}].
+    mary[kids->>{tom}].
+  )").ok());
+  Result<std::vector<Oid>> grandkids = db.Eval("john..kids..kids");
+  ASSERT_TRUE(grandkids.ok());
+  // A flat set of grandchildren, not a set of sets.
+  EXPECT_EQ(grandkids->size(), 2u);
+}
+
+// --- Section 6: programming in PathLog --------------------------------
+
+TEST_F(PaperExamplesTest, Section6_IntensionalPower) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    a1 : automobile[engine->e1].
+    e1[power->150].
+    X[power->Y] <- X:automobile.engine[power->Y].
+  )").ok());
+  Result<std::vector<Oid>> power = db.Eval("a1.power");
+  ASSERT_TRUE(power.ok());
+  ASSERT_EQ(power->size(), 1u);
+  EXPECT_EQ(db.DisplayName((*power)[0]), "150");
+}
+
+TEST_F(PaperExamplesTest, Rule61_VirtualBoss) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    p1 : employee[worksFor->cs1].
+    X.boss[worksFor->D] <- X : employee[worksFor->D].
+  )").ok());
+  Result<bool> holds = db.Holds("p1.boss[worksFor->cs1]");
+  ASSERT_TRUE(holds.ok());
+  EXPECT_TRUE(*holds);
+  EXPECT_EQ(db.engine_stats().skolems_created, 1u);
+}
+
+TEST_F(PaperExamplesTest, Rule62_NoVirtualBoss) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    p1 : employee[worksFor->cs1].
+    p2 : employee[worksFor->cs2; boss->b2].
+    Z[worksFor->D] <- X : employee[worksFor->D].boss[Z].
+  )").ok());
+  Result<bool> b2_works = db.Holds("b2[worksFor->cs2]");
+  ASSERT_TRUE(b2_works.ok());
+  EXPECT_TRUE(*b2_works);
+  Result<bool> p1_boss = db.Holds("p1.boss");
+  ASSERT_TRUE(p1_boss.ok());
+  EXPECT_FALSE(*p1_boss);
+  EXPECT_EQ(db.engine_stats().skolems_created, 0u);
+}
+
+TEST_F(PaperExamplesTest, Program64_DescTransitiveClosure) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    peter[kids->>{tim,mary}].
+    tim[kids->>{sally}].
+    mary[kids->>{tom,paul}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+    X[desc->>{Y}] <- X..desc[kids->>{Y}].
+  )").ok());
+  Result<std::vector<Oid>> desc = db.Eval("peter..desc");
+  ASSERT_TRUE(desc.ok());
+  std::vector<std::string> names;
+  for (Oid o : *desc) names.push_back(db.DisplayName(o));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"mary", "paul", "sally", "tim",
+                                             "tom"}));
+}
+
+TEST_F(PaperExamplesTest, Section6_GenericTcYieldsPaperAnswer) {
+  // "applying kids.tc to peter yields
+  //  peter[(kids.tc)->>{tim,mary,sally,tom,paul}]".
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    peter[kids->>{tim,mary}].
+    tim[kids->>{sally}].
+    mary[kids->>{tom,paul}].
+    X[(M.tc)->>{Y}] <- X[M->>{Y}].
+    X[(M.tc)->>{Y}] <- X..(M.tc)[M->>{Y}].
+  )").ok());
+  Result<bool> holds =
+      db.Holds("peter[(kids.tc)->>{tim,mary,sally,tom,paul}]");
+  ASSERT_TRUE(holds.ok()) << holds.status();
+  EXPECT_TRUE(*holds);
+  // And nothing more: the closure has exactly five members.
+  Result<std::vector<Oid>> all = db.Eval("peter..(kids.tc)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 5u);
+}
+
+TEST_F(PaperExamplesTest, Section6_StratificationExample) {
+  // "A rule ... X[friends->>p1..assistants] should only then be
+  // applied, if the set of p1's assistants is already defined."
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    p1[staff->>{a1,a2}].
+    X[assistants->>{Y}] <- X[staff->>{Y}].
+    X[friends->>p1..assistants] <- X : person.
+    q : person.
+  )").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  EXPECT_GE(db.engine_stats().num_strata, 2);
+  Result<bool> holds = db.Holds("q[friends->>{a1,a2}]");
+  ASSERT_TRUE(holds.ok());
+  EXPECT_TRUE(*holds);
+}
+
+TEST_F(PaperExamplesTest, XSQLStyle22_SameAnswers) {
+  // (2.2) puts the same 2-dimensional reference in a WHERE clause.
+  EXPECT_EQ(Col("?- X[age->30; city->newYork]"
+                "..vehicles[cylinders->4][Y].color[Z].",
+                "Z"),
+            (std::vector<std::string>{"red"}));
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,221 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/analysis.h"
+#include "ast/printer.h"
+
+namespace pathlog {
+namespace {
+
+// Parses a reference and returns its normalised printing (selector
+// sugar expanded, filter groups canonicalised).
+std::string Norm(std::string_view src) {
+  Result<RefPtr> r = ParseRef(src);
+  if (!r.ok()) return std::string("<error: ") + r.status().ToString() + ">";
+  return ToString(**r);
+}
+
+TEST(ParseRefTest, SimpleReferences) {
+  EXPECT_EQ(Norm("mary"), "mary");
+  EXPECT_EQ(Norm("X"), "X");
+  EXPECT_EQ(Norm("30"), "30");
+  EXPECT_EQ(Norm("-7"), "-7");
+  EXPECT_EQ(Norm("\"red\""), "\"red\"");
+  EXPECT_EQ(Norm("(mary)"), "(mary)");
+}
+
+TEST(ParseRefTest, Paths) {
+  EXPECT_EQ(Norm("mary.spouse"), "mary.spouse");
+  EXPECT_EQ(Norm("mary.spouse.age"), "mary.spouse.age");
+  EXPECT_EQ(Norm("p1..assistants"), "p1..assistants");
+  EXPECT_EQ(Norm("p1..assistants.salary"), "p1..assistants.salary");
+  EXPECT_EQ(Norm("p1..assistants..projects"), "p1..assistants..projects");
+}
+
+TEST(ParseRefTest, PathWithArguments) {
+  EXPECT_EQ(Norm("john.salary@(1994)"), "john.salary@(1994)");
+  EXPECT_EQ(Norm("p1.paidFor@(p1..vehicles)"), "p1.paidFor@(p1..vehicles)");
+  EXPECT_EQ(Norm("f.g@(a,b,c)"), "f.g@(a,b,c)");
+}
+
+TEST(ParseRefTest, Molecules) {
+  EXPECT_EQ(Norm("mary[boss->peter]"), "mary[boss->peter]");
+  EXPECT_EQ(Norm("mary[age->30;boss->peter]"), "mary[age->30; boss->peter]");
+  EXPECT_EQ(Norm("p2[friends->>{p3,p4}]"), "p2[friends->>{p3,p4}]");
+  EXPECT_EQ(Norm("p2[friends->>p1..assistants]"),
+            "p2[friends->>p1..assistants]");
+  EXPECT_EQ(Norm("X : employee"), "X:employee");
+}
+
+TEST(ParseRefTest, MutualNesting) {
+  // Paper section 4.1: mary.spouse[boss->mary].age
+  EXPECT_EQ(Norm("mary.spouse[boss->mary].age"), "mary.spouse[boss->mary].age");
+  // Names may be further specified inside a filter.
+  EXPECT_EQ(Norm("mary.spouse[boss->mary[age->25]]"),
+            "mary.spouse[boss->mary[age->25]]");
+}
+
+TEST(ParseRefTest, SelectorSugarExpandsToSelf) {
+  EXPECT_EQ(Norm("X..vehicles.color[Z]"), "X..vehicles.color[self->Z]");
+  EXPECT_EQ(Norm("X.vehicles[Y].color[Z]"),
+            "X.vehicles[self->Y].color[self->Z]");
+}
+
+TEST(ParseRefTest, PaperQuery21) {
+  // The flagship two-dimensional path of section 2.
+  std::string norm = Norm(
+      "X:employee[age->30; city->newYork]"
+      "..vehicles:automobile[cylinders->4].color[Z]");
+  EXPECT_EQ(norm,
+            "X:employee[age->30; city->newYork]"
+            "..vehicles:automobile[cylinders->4].color[self->Z]");
+}
+
+TEST(ParseRefTest, BracketsChangeGrouping) {
+  // L : integer.list applies list to the molecule (L : integer);
+  // L : (integer.list) tests membership in the class integer.list.
+  Result<RefPtr> a = ParseRef("L : integer.list");
+  Result<RefPtr> b = ParseRef("L : (integer.list)");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->kind, RefKind::kPath);
+  EXPECT_EQ((*b)->kind, RefKind::kMolecule);
+  EXPECT_FALSE(RefEquals(**a, **b));
+}
+
+TEST(ParseRefTest, GenericTcMethodPosition) {
+  EXPECT_EQ(Norm("X..(M.tc)"), "X..(M.tc)");
+  EXPECT_EQ(Norm("peter..(kids.tc)"), "peter..(kids.tc)");
+}
+
+TEST(ParseRefTest, TrailingTerminatorTolerated) {
+  EXPECT_EQ(Norm("mary.spouse."), "mary.spouse");
+}
+
+TEST(ParseRefTest, Errors) {
+  EXPECT_FALSE(ParseRef("").ok());
+  EXPECT_FALSE(ParseRef("mary.[x]").ok());
+  EXPECT_FALSE(ParseRef("mary[").ok());
+  EXPECT_FALSE(ParseRef("mary[age->]").ok());
+  EXPECT_FALSE(ParseRef("mary[age->>{}]").ok());
+  EXPECT_FALSE(ParseRef("mary mary").ok());
+  EXPECT_FALSE(ParseRef("(mary").ok());
+  // Selectors cannot take arguments.
+  EXPECT_FALSE(ParseRef("mary[x@(1)]").ok());
+}
+
+TEST(ParseRefTest, HostileNestingRejectedNotCrashing) {
+  std::string deep(2000, '(');
+  deep += "x";
+  deep.append(2000, ')');
+  Result<RefPtr> r = ParseRef(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+
+  std::string chain = "x";
+  for (int i = 0; i < 3000; ++i) chain += ".m";
+  Result<RefPtr> c = ParseRef(chain);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kParseError);
+
+  // Realistic depth still parses.
+  std::string fine = "x";
+  for (int i = 0; i < 200; ++i) fine += ".m[a->1]";
+  EXPECT_TRUE(ParseRef(fine).ok());
+}
+
+TEST(ParseRuleTest, FactAndRule) {
+  Result<Rule> fact = ParseRule("mary[age->30].");
+  ASSERT_TRUE(fact.ok());
+  EXPECT_TRUE(fact->IsFact());
+
+  Result<Rule> rule =
+      ParseRule("X[power->Y] <- X:automobile.engine[power->Y].");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_FALSE(rule->IsFact());
+  EXPECT_EQ(rule->body.size(), 1u);
+  EXPECT_EQ(ToString(*rule),
+            "X[power->Y] <- X:automobile.engine[power->Y].");
+}
+
+TEST(ParseRuleTest, PrologStyleIfAccepted) {
+  Result<Rule> rule = ParseRule("X[a->1] :- X:thing.");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body.size(), 1u);
+}
+
+TEST(ParseRuleTest, MultiLiteralBodyAndNegation) {
+  Result<Rule> rule =
+      ParseRule("X[rich->1] <- X:employee[salary->S], not X[boss->Y].");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->body.size(), 2u);
+  EXPECT_FALSE(rule->body[0].negated);
+  EXPECT_TRUE(rule->body[1].negated);
+}
+
+TEST(ParseRuleTest, PaperVirtualAddressRule) {
+  Result<Rule> rule = ParseRule(
+      "X.address[street->X.street; city->X.city] <- X : person.");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(ToString(*rule),
+            "X.address[street->X.street; city->X.city] <- X:person.");
+}
+
+TEST(ParseQueryTest, QueryForms) {
+  Result<Query> q1 = ParseQuery("?- X:employee.");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1->body.size(), 1u);
+
+  // The ?- prefix and trailing dot are optional for ad-hoc queries.
+  Result<Query> q2 = ParseQuery("X:employee, X[age->30]");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->body.size(), 2u);
+}
+
+TEST(ParseProgramTest, MixedClauses) {
+  Result<Program> p = ParseProgram(R"(
+    % the paper's kinship facts
+    peter[kids->>{tim,mary}].
+    tim[kids->>{sally}].
+    mary[kids->>{tom,paul}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+    X[desc->>{Y}] <- X..desc[kids->>{Y}].
+    ?- peter[desc->>{Z}].
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->rules.size(), 5u);
+  EXPECT_EQ(p->queries.size(), 1u);
+  int facts = 0;
+  for (const Rule& r : p->rules) facts += r.IsFact() ? 1 : 0;
+  EXPECT_EQ(facts, 3);
+}
+
+TEST(ParseProgramTest, Signatures) {
+  Result<Program> p = ParseProgram(R"(
+    person[age => integer; kids =>> person].
+    employee[salary@(integer) => integer].
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->signatures.size(), 3u);
+  EXPECT_FALSE(p->signatures[0].set_valued);
+  EXPECT_TRUE(p->signatures[1].set_valued);
+  EXPECT_EQ(p->signatures[2].arg_types.size(), 1u);
+  EXPECT_EQ(ToString(p->signatures[2]),
+            "employee[salary@(integer) => integer].");
+}
+
+TEST(ParseProgramTest, SignatureArrowsRejectedInsideOrdinaryRefs) {
+  EXPECT_FALSE(ParseProgram("X[a->b[c => d]].").ok());
+}
+
+TEST(ParseProgramTest, MissingTerminatorFails) {
+  EXPECT_FALSE(ParseProgram("mary[age->30]").ok());
+}
+
+TEST(ParseProgramTest, QueriesNeedTerminator) {
+  EXPECT_FALSE(ParseProgram("?- X:employee").ok());
+}
+
+}  // namespace
+}  // namespace pathlog

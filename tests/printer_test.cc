@@ -1,0 +1,103 @@
+#include "ast/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/program.h"
+#include "ast/ref.h"
+#include "parser/parser.h"
+
+namespace pathlog {
+namespace {
+
+// Round-trip property: parse, print, re-parse — the two parses must be
+// structurally equal and the two printings identical.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintParse) {
+  const char* src = GetParam();
+  Result<RefPtr> first = ParseRef(src);
+  ASSERT_TRUE(first.ok()) << src << " -> " << first.status();
+  std::string printed = ToString(**first);
+  Result<RefPtr> second = ParseRef(printed);
+  ASSERT_TRUE(second.ok()) << printed << " -> " << second.status();
+  EXPECT_TRUE(RefEquals(**first, **second)) << printed;
+  EXPECT_EQ(printed, ToString(**second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    References, RoundTripTest,
+    ::testing::Values(
+        "mary", "X", "42", "-3", "\"a string\"", "(mary)",
+        "mary.spouse", "p1..assistants", "p1..assistants.salary",
+        "p1..assistants..projects", "john.salary@(1994)",
+        "p1.paidFor@(p1..vehicles)", "mary[boss->peter]",
+        "mary[age->30; boss->peter]", "p2[friends->>{p3,p4}]",
+        "p2[friends->>p1..assistants]", "X:employee",
+        "X:employee[age->30; city->newYork]..vehicles"
+        ":automobile[cylinders->4].color[self->Z]",
+        "mary.spouse[boss->mary[age->25]].age",
+        "X:manager..vehicles[color->red]"
+        ".producedBy[city->detroit; president->X]",
+        "L:(integer.list)", "peter..(kids.tc)",
+        "X[(M.tc)->>{Y}]", "a[m@(1,2)->b]", "a[m@(x)->>{y,z}]",
+        "X[city->X.boss.city]"));
+
+class RuleRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RuleRoundTripTest, ParsePrintParse) {
+  const char* src = GetParam();
+  Result<Rule> first = ParseRule(src);
+  ASSERT_TRUE(first.ok()) << src << " -> " << first.status();
+  std::string printed = ToString(*first);
+  Result<Rule> second = ParseRule(printed);
+  ASSERT_TRUE(second.ok()) << printed << " -> " << second.status();
+  EXPECT_EQ(printed, ToString(*second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, RuleRoundTripTest,
+    ::testing::Values(
+        "mary[age->30].",
+        "peter[kids->>{tim,mary}].",
+        "X[power->Y] <- X:automobile.engine[power->Y].",
+        "X.boss[worksFor->D] <- X:employee[worksFor->D].",
+        "Z[worksFor->D] <- X:employee[worksFor->D].boss[self->Z].",
+        "X.address[street->X.street; city->X.city] <- X:person.",
+        "X[desc->>{Y}] <- X[kids->>{Y}].",
+        "X[desc->>{Y}] <- X..desc[kids->>{Y}].",
+        "X[(M.tc)->>{Y}] <- X[M->>{Y}].",
+        "X[(M.tc)->>{Y}] <- X..(M.tc)[M->>{Y}].",
+        "X[a->1] <- X:thing, not X[b->2]."));
+
+TEST(PrinterTest, LiteralNegation) {
+  Result<Rule> rule = ParseRule("X[a->1] <- not X[b->2], X:thing.");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(ToString(rule->body[0]), "not X[b->2]");
+  EXPECT_EQ(ToString(rule->body[1]), "X:thing");
+}
+
+TEST(PrinterTest, EmptyFilterListPrintsBrackets) {
+  RefPtr mol = Ref::Molecule(Ref::Name("mary"), {});
+  EXPECT_EQ(ToString(*mol), "mary[]");
+}
+
+TEST(PrinterTest, ProgramPrintsAllClauses) {
+  Result<Program> p = ParseProgram(
+      "person[age => integer].\n"
+      "mary[age->30].\n"
+      "?- X:person.\n");
+  ASSERT_TRUE(p.ok());
+  std::string printed = ToString(*p);
+  EXPECT_NE(printed.find("person[age => integer]."), std::string::npos);
+  EXPECT_NE(printed.find("mary[age->30]."), std::string::npos);
+  EXPECT_NE(printed.find("?- X:person."), std::string::npos);
+}
+
+TEST(PrinterTest, ClassFiltersInterleaveWithBrackets) {
+  Result<RefPtr> r = ParseRef("X:employee[age->30]:manager[city->detroit]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(**r), "X:employee[age->30]:manager[city->detroit]");
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,108 @@
+// Derivation provenance: ExplainFact and the DerivationRecord stream.
+
+#include <gtest/gtest.h>
+
+#include "query/database.h"
+
+namespace pathlog {
+namespace {
+
+DatabaseOptions Traced() {
+  DatabaseOptions opts;
+  opts.engine.trace_provenance = true;
+  return opts;
+}
+
+TEST(ProvenanceTest, ExtensionalFactsExplainedAsSuch) {
+  Database db(Traced());
+  ASSERT_TRUE(db.Load("mary[age->30].").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  std::string expl = db.ExplainFact(0);
+  EXPECT_NE(expl.find("mary[age->30]"), std::string::npos);
+  EXPECT_NE(expl.find("extensional"), std::string::npos);
+}
+
+TEST(ProvenanceTest, DerivedFactNamesRuleAndBindings) {
+  Database db(Traced());
+  ASSERT_TRUE(db.Load(R"(
+    a1 : automobile[engine->e1].
+    e1[power->150].
+    X[power->Y] <- X:automobile.engine[power->Y].
+  )").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  // Find the derived power fact.
+  std::optional<uint64_t> gen;
+  for (uint64_t g = 0; g < db.store().generation(); ++g) {
+    const Fact& f = db.store().FactAt(g);
+    if (f.kind == FactKind::kScalar &&
+        db.DisplayName(f.method) == "power" &&
+        db.DisplayName(f.recv) == "a1") {
+      gen = g;
+    }
+  }
+  ASSERT_TRUE(gen.has_value());
+  std::string expl = db.ExplainFact(*gen);
+  EXPECT_NE(expl.find("derived by rule"), std::string::npos);
+  EXPECT_NE(expl.find("X[power->Y]"), std::string::npos);
+  EXPECT_NE(expl.find("X=a1"), std::string::npos);
+  EXPECT_NE(expl.find("Y=150"), std::string::npos);
+}
+
+TEST(ProvenanceTest, VirtualObjectCreationIsAttributed) {
+  Database db(Traced());
+  ASSERT_TRUE(db.Load(R"(
+    p1 : employee[worksFor->cs1].
+    X.boss[worksFor->D] <- X:employee[worksFor->D].
+  )").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  // The boss(p1) = _boss(p1) fact is derived.
+  std::optional<uint64_t> gen;
+  for (uint64_t g = 0; g < db.store().generation(); ++g) {
+    const Fact& f = db.store().FactAt(g);
+    if (f.kind == FactKind::kScalar && db.DisplayName(f.method) == "boss") {
+      gen = g;
+    }
+  }
+  ASSERT_TRUE(gen.has_value());
+  std::string expl = db.ExplainFact(*gen);
+  EXPECT_NE(expl.find("derived by rule"), std::string::npos);
+  EXPECT_NE(expl.find("X=p1"), std::string::npos);
+}
+
+TEST(ProvenanceTest, RecordsSpanMultipleMaterializations) {
+  Database db(Traced());
+  ASSERT_TRUE(db.Load(R"(
+    p0[kids->>{p1}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+  )").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  size_t first = db.provenance().size();
+  EXPECT_GE(first, 1u);
+  ASSERT_TRUE(db.Load("p1[kids->>{p2}].").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  EXPECT_GT(db.provenance().size(), first);
+  // Every record covers a valid, derived fact range.
+  for (const DerivationRecord& r : db.provenance()) {
+    EXPECT_LT(r.first_gen, r.end_gen);
+    EXPECT_LE(r.end_gen, db.store().generation());
+    EXPECT_LT(r.rule_index, db.rules().size());
+  }
+}
+
+TEST(ProvenanceTest, OffByDefault) {
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    p0[kids->>{p1}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+  )").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  EXPECT_TRUE(db.provenance().empty());
+}
+
+TEST(ProvenanceTest, OutOfRangeGen) {
+  Database db(Traced());
+  EXPECT_EQ(db.ExplainFact(99), "no such fact.");
+}
+
+}  // namespace
+}  // namespace pathlog

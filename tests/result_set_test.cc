@@ -1,0 +1,60 @@
+// ResultSet behaviours not covered by the end-to-end suites.
+
+#include "query/result_set.h"
+
+#include <gtest/gtest.h>
+
+namespace pathlog {
+namespace {
+
+class ResultSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = store_.InternSymbol("a");
+    b_ = store_.InternSymbol("b");
+    c_ = store_.InternSymbol("c");
+  }
+  ObjectStore store_;
+  Oid a_, b_, c_;
+};
+
+TEST_F(ResultSetTest, DedupSortsAndRemovesDuplicates) {
+  ResultSet rs({"X", "Y"});
+  rs.AddRow({b_, a_});
+  rs.AddRow({a_, c_});
+  rs.AddRow({b_, a_});
+  rs.Dedup();
+  EXPECT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.rows()[0], (std::vector<Oid>{a_, c_}));
+  EXPECT_EQ(rs.rows()[1], (std::vector<Oid>{b_, a_}));
+}
+
+TEST_F(ResultSetTest, ColumnCollectsDistinctSortedNames) {
+  ResultSet rs({"X", "Y"});
+  rs.AddRow({b_, a_});
+  rs.AddRow({a_, a_});
+  rs.AddRow({b_, c_});
+  EXPECT_EQ(rs.Column("X", store_), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rs.Column("Y", store_), (std::vector<std::string>{"a", "c"}));
+  EXPECT_TRUE(rs.Column("Z", store_).empty());
+}
+
+TEST_F(ResultSetTest, ContainsRowMatchesSubsets) {
+  ResultSet rs({"X", "Y"});
+  rs.AddRow({a_, b_});
+  EXPECT_TRUE(rs.ContainsRow({{"X", "a"}, {"Y", "b"}}, store_));
+  EXPECT_TRUE(rs.ContainsRow({{"X", "a"}}, store_));
+  EXPECT_FALSE(rs.ContainsRow({{"X", "b"}}, store_));
+  EXPECT_FALSE(rs.ContainsRow({{"Z", "a"}}, store_));
+}
+
+TEST_F(ResultSetTest, ToStringBoundsRows) {
+  ResultSet rs({"X"});
+  for (int i = 0; i < 10; ++i) rs.AddRow({a_});
+  std::string text = rs.ToString(store_, 3);
+  EXPECT_NE(text.find("(7 more rows)"), std::string::npos);
+  EXPECT_EQ(ResultSet({"X"}).ToString(store_), "no answers.\n");
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,249 @@
+// Tests for the *literal* Definition 4/5 semantics (semantics/valuation)
+// on a hand-built universe mirroring the paper's examples.
+
+#include "semantics/valuation.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "semantics/structure.h"
+#include "store/object_store.h"
+
+namespace pathlog {
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.InternSymbol(kSelfMethodName);
+    p1_ = store_.InternSymbol("p1");
+    a1_ = store_.InternSymbol("a1");
+    a2_ = store_.InternSymbol("a2");
+    john_ = store_.InternSymbol("john");
+    employee_ = store_.InternSymbol("employee");
+    manager_ = store_.InternSymbol("manager");
+    Oid salary = store_.InternSymbol("salary");
+    Oid assistants = store_.InternSymbol("assistants");
+    Oid kids = store_.InternSymbol("kids");
+    Oid age = store_.InternSymbol("age");
+    v1000_ = store_.InternInt(1000);
+    v2000_ = store_.InternInt(2000);
+    // Names used by queries must be interned (the Database front end
+    // does this automatically; these tests sit below it).
+    store_.InternInt(30);
+    store_.InternInt(31);
+    store_.InternInt(9999);
+
+    ASSERT_TRUE(store_.AddIsa(manager_, employee_).ok());
+    ASSERT_TRUE(store_.AddIsa(p1_, manager_).ok());
+    ASSERT_TRUE(store_.AddIsa(a1_, employee_).ok());
+    ASSERT_TRUE(store_.AddIsa(a2_, employee_).ok());
+    store_.AddSetMember(assistants, p1_, {}, a1_);
+    store_.AddSetMember(assistants, p1_, {}, a2_);
+    ASSERT_TRUE(store_.SetScalar(salary, a1_, {}, v1000_).ok());
+    ASSERT_TRUE(store_.SetScalar(salary, a2_, {}, v2000_).ok());
+    ASSERT_TRUE(store_.SetScalar(age, p1_, {}, store_.InternInt(30)).ok());
+    // john is a bachelor: no spouse fact. His grandchildren:
+    Oid tim = store_.InternSymbol("tim");
+    Oid sally = store_.InternSymbol("sally");
+    store_.AddSetMember(kids, john_, {}, tim);
+    store_.AddSetMember(kids, tim, {}, sally);
+  }
+
+  std::vector<Oid> Val(std::string_view src, const VarValuation& nu = {}) {
+    Result<RefPtr> r = ParseRef(src);
+    EXPECT_TRUE(r.ok()) << r.status();
+    SemanticStructure I(store_);
+    Result<std::vector<Oid>> v = Valuate(I, **r, nu);
+    EXPECT_TRUE(v.ok()) << src << ": " << v.status();
+    return v.ok() ? *v : std::vector<Oid>{};
+  }
+
+  bool Holds(std::string_view src, const VarValuation& nu = {}) {
+    Result<RefPtr> r = ParseRef(src);
+    EXPECT_TRUE(r.ok()) << r.status();
+    SemanticStructure I(store_);
+    Result<bool> e = Entails(I, **r, nu);
+    EXPECT_TRUE(e.ok()) << src << ": " << e.status();
+    return e.ok() && *e;
+  }
+
+  ObjectStore store_;
+  Oid p1_, a1_, a2_, john_, employee_, manager_, v1000_, v2000_;
+};
+
+TEST_F(SemanticsTest, NamesDenoteThemselves) {
+  EXPECT_EQ(Val("p1"), std::vector<Oid>{p1_});
+  EXPECT_EQ(Val("1000"), std::vector<Oid>{v1000_});
+}
+
+TEST_F(SemanticsTest, VariablesNeedTotalValuation) {
+  Result<RefPtr> r = ParseRef("X");
+  ASSERT_TRUE(r.ok());
+  SemanticStructure I(store_);
+  Result<std::vector<Oid>> v = Valuate(I, **r, {});
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Val("X", {{"X", p1_}}), std::vector<Oid>{p1_});
+}
+
+TEST_F(SemanticsTest, UninternedNameIsAnError) {
+  Result<RefPtr> r = ParseRef("ghost");
+  ASSERT_TRUE(r.ok());
+  SemanticStructure I(store_);
+  EXPECT_EQ(Valuate(I, **r, {}).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SemanticsTest, UndefinedScalarPathDenotesNothing) {
+  // "for a bachelor john the path john.spouse does not denote an
+  // object, consequently, this path is considered false."
+  store_.InternSymbol("spouse");
+  EXPECT_EQ(Val("john.spouse"), std::vector<Oid>{});
+  EXPECT_FALSE(Holds("john.spouse"));
+}
+
+TEST_F(SemanticsTest, SetPathDenotesAllMembers) {
+  std::vector<Oid> expected{std::min(a1_, a2_), std::max(a1_, a2_)};
+  EXPECT_EQ(Val("p1..assistants"), expected);
+  EXPECT_TRUE(Holds("p1..assistants"));
+}
+
+TEST_F(SemanticsTest, SecondDimensionFiltersIntermediates) {
+  EXPECT_EQ(Val("p1..assistants[salary->1000]"), std::vector<Oid>{a1_});
+  // True because at least one such assistant exists (paper section 5).
+  EXPECT_TRUE(Holds("p1..assistants[salary->1000]"));
+  EXPECT_FALSE(Holds("p1..assistants[salary->9999]"));
+}
+
+TEST_F(SemanticsTest, ScalarMethodOverSetFlattens) {
+  // The set of salaries of p1's assistants.
+  std::vector<Oid> expected{std::min(v1000_, v2000_),
+                            std::max(v1000_, v2000_)};
+  EXPECT_EQ(Val("p1..assistants.salary"), expected);
+}
+
+TEST_F(SemanticsTest, NoNestedSets) {
+  // john..kids..kids = grandchildren, not a set of sets.
+  Oid sally = *store_.FindSymbol("sally");
+  EXPECT_EQ(Val("john..kids..kids"), std::vector<Oid>{sally});
+}
+
+TEST_F(SemanticsTest, ClassMembershipRespectsHierarchy) {
+  EXPECT_TRUE(Holds("p1:manager"));
+  EXPECT_TRUE(Holds("p1:employee"));
+  EXPECT_FALSE(Holds("a1:manager"));
+  EXPECT_EQ(Val("p1:employee"), std::vector<Oid>{p1_});
+  EXPECT_EQ(Val("a1:manager"), std::vector<Oid>{});
+}
+
+TEST_F(SemanticsTest, ScalarFilterChecksEquality) {
+  EXPECT_TRUE(Holds("p1[age->30]"));
+  EXPECT_FALSE(Holds("p1[age->31]"));
+  EXPECT_EQ(Val("p1[age->30]"), std::vector<Oid>{p1_});
+}
+
+TEST_F(SemanticsTest, ExplicitSetFilterIsSubset) {
+  EXPECT_TRUE(Holds("p1[assistants->>{a1}]"));
+  EXPECT_TRUE(Holds("p1[assistants->>{a1,a2}]"));
+  EXPECT_FALSE(Holds("p1[assistants->>{john}]"));
+}
+
+TEST_F(SemanticsTest, SetRefFilterIsSubset) {
+  // a copy of the assistants as friends
+  Oid friends = store_.InternSymbol("friends");
+  Oid p2 = store_.InternSymbol("p2");
+  store_.AddSetMember(friends, p2, {}, a1_);
+  store_.AddSetMember(friends, p2, {}, a2_);
+  store_.AddSetMember(friends, p2, {}, john_);
+  EXPECT_TRUE(Holds("p2[friends->>p1..assistants]"));
+  EXPECT_FALSE(Holds("p1[assistants->>p2..friends]"));  // john missing
+}
+
+TEST_F(SemanticsTest, LiteralDefinitionHasVacuousEmptySetCorner) {
+  // Documented divergence from the active-domain evaluator: under the
+  // literal Definition 4, an empty specified set is a subset of
+  // everything, so the molecule below is entailed even though nobody
+  // has any "enemies".
+  store_.InternSymbol("enemies");
+  EXPECT_TRUE(Holds("p1[assistants->>john..enemies]"));
+}
+
+TEST_F(SemanticsTest, SelfDenotesTheObjectItself) {
+  EXPECT_EQ(Val("p1.self"), std::vector<Oid>{p1_});
+  EXPECT_TRUE(Holds("p1[self->p1]"));
+  EXPECT_FALSE(Holds("p1[self->john]"));
+}
+
+TEST_F(SemanticsTest, MethodArguments) {
+  Oid salary = *store_.FindSymbol("salary");
+  Oid y94 = store_.InternInt(1994);
+  Oid v5 = store_.InternInt(50000);
+  ASSERT_TRUE(store_.SetScalar(salary, john_, {y94}, v5).ok());
+  EXPECT_EQ(Val("john.salary@(1994)"), std::vector<Oid>{v5});
+  EXPECT_EQ(Val("john.salary"), std::vector<Oid>{});
+}
+
+TEST_F(SemanticsTest, SetValuedArgumentTakesAllCombinations) {
+  Oid paid = store_.InternSymbol("paidFor");
+  Oid vehicles = store_.InternSymbol("vehicles");
+  Oid v1 = store_.InternSymbol("v1");
+  Oid v2 = store_.InternSymbol("v2");
+  Oid price1 = store_.InternInt(100);
+  Oid price2 = store_.InternInt(200);
+  store_.AddSetMember(vehicles, p1_, {}, v1);
+  store_.AddSetMember(vehicles, p1_, {}, v2);
+  ASSERT_TRUE(store_.SetScalar(paid, p1_, {v1}, price1).ok());
+  ASSERT_TRUE(store_.SetScalar(paid, p1_, {v2}, price2).ok());
+  std::vector<Oid> expected{price1, price2};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(Val("p1.paidFor@(p1..vehicles)"), expected);
+}
+
+TEST_F(SemanticsTest, NestedPathInsideFilter) {
+  // (2.3)-style: [city->X.boss.city]
+  Oid boss = store_.InternSymbol("boss");
+  Oid city = store_.InternSymbol("city");
+  Oid ny = store_.InternSymbol("newYork");
+  ASSERT_TRUE(store_.SetScalar(boss, a1_, {}, p1_).ok());
+  ASSERT_TRUE(store_.SetScalar(city, a1_, {}, ny).ok());
+  ASSERT_TRUE(store_.SetScalar(city, p1_, {}, ny).ok());
+  EXPECT_TRUE(Holds("a1[city->a1.boss.city]"));
+  // a2 has no city at all.
+  EXPECT_FALSE(Holds("a2[city->a2.boss.city]"));
+}
+
+TEST_F(SemanticsTest, EmptyFilterListRequiresDenotation) {
+  // t0[] is entailed iff t0 denotes something.
+  store_.InternSymbol("spouse");
+  Result<RefPtr> some = ParseRef("p1..assistants");
+  ASSERT_TRUE(some.ok());
+  SemanticStructure I(store_);
+  RefPtr mol = Ref::Molecule(*some, {});
+  Result<bool> e = Entails(I, *mol, {});
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(*e);
+
+  Result<RefPtr> none = ParseRef("john.spouse");
+  ASSERT_TRUE(none.ok());
+  RefPtr mol2 = Ref::Molecule(*none, {});
+  Result<bool> e2 = Entails(I, *mol2, {});
+  ASSERT_TRUE(e2.ok());
+  EXPECT_FALSE(*e2);
+}
+
+TEST_F(SemanticsTest, BracketGroupingChangesMeaning) {
+  // L : (integer.list) vs L : integer.list (paper section 4.1).
+  Oid list = store_.InternSymbol("list");
+  Oid integer = store_.InternSymbol("integer");
+  Oid int_list = store_.InternSymbol("intList");
+  Oid l1 = store_.InternSymbol("l1");
+  ASSERT_TRUE(store_.SetScalar(list, integer, {}, int_list).ok());
+  ASSERT_TRUE(store_.AddIsa(l1, int_list).ok());
+  VarValuation nu{{"L", l1}};
+  EXPECT_TRUE(Holds("L:(integer.list)", nu));
+  // L : integer.list applies `list` to the molecule (L : integer),
+  // which is empty since l1 is not an integer.
+  EXPECT_FALSE(Holds("L:integer.list", nu));
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,122 @@
+// End-to-end tests of the `pathlog` shell binary: drive it through a
+// pipe and check the transcript. PATHLOG_SHELL_PATH is injected by
+// CMake as the built binary's location.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace pathlog {
+namespace {
+
+std::string RunShell(const std::string& input,
+                     const std::string& args = "") {
+  const std::string script_path =
+      ::testing::TempDir() + "/shell_input.txt";
+  {
+    std::ofstream out(script_path);
+    out << input;
+  }
+  std::string cmd = std::string(PATHLOG_SHELL_PATH) + " " + args + " < " +
+                    script_path + " 2>&1";
+  std::array<char, 4096> buffer;
+  std::string output;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return output;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  int rc = pclose(pipe);
+  EXPECT_EQ(rc, 0) << output;
+  std::remove(script_path.c_str());
+  return output;
+}
+
+TEST(ShellTest, FactsAndQueries) {
+  std::string out = RunShell(
+      "mary : employee[age->30].\n"
+      "?- X:employee[age->A].\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("ok."), std::string::npos);
+  EXPECT_NE(out.find("mary"), std::string::npos);
+  EXPECT_NE(out.find("(1 answer)"), std::string::npos);
+}
+
+TEST(ShellTest, MultiLineClause) {
+  std::string out = RunShell(
+      "X[desc->>{Y}] <-\n"
+      "  X[kids->>{Y}].\n"
+      "peter[kids->>{tim}].\n"
+      "?- peter[desc->>{Z}].\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("tim"), std::string::npos);
+}
+
+TEST(ShellTest, ErrorsAreReportedNotFatal) {
+  std::string out = RunShell(
+      "this is ! garbage.\n"
+      "mary[age->30].\n"
+      "?- mary[age->A].\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("ParseError"), std::string::npos);
+  EXPECT_NE(out.find("30"), std::string::npos);
+}
+
+TEST(ShellTest, CommandsWork) {
+  std::string out = RunShell(
+      "mary[age->30].\n"
+      "\\stats\n"
+      "\\facts 5\n"
+      "\\explain 0\n"
+      "\\rules\n"
+      "\\help\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("scalar facts: 1"), std::string::npos);
+  EXPECT_NE(out.find("mary[age->30]."), std::string::npos);
+  EXPECT_NE(out.find("extensional"), std::string::npos);
+  EXPECT_NE(out.find("no rules loaded"), std::string::npos);
+  EXPECT_NE(out.find("PathLog shell commands"), std::string::npos);
+}
+
+TEST(ShellTest, SaveAndRestoreRoundTrip) {
+  const std::string snap = ::testing::TempDir() + "/shell_session.snap";
+  std::string out = RunShell(
+      "p1 : employee[worksFor->cs1].\n"
+      "X.boss[worksFor->D] <- X:employee[worksFor->D].\n"
+      "?- p1.boss[worksFor->W].\n"
+      "\\save " + snap + "\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("saved."), std::string::npos);
+  EXPECT_NE(out.find("cs1"), std::string::npos);
+
+  std::string out2 = RunShell(
+      "\\restore " + snap + "\n"
+      "?- p1.boss[worksFor->W].\n"
+      "\\quit\n");
+  EXPECT_NE(out2.find("restored"), std::string::npos);
+  EXPECT_NE(out2.find("cs1"), std::string::npos);
+  std::remove(snap.c_str());
+}
+
+TEST(ShellTest, LoadsProgramFileFromArgv) {
+  const std::string prog = ::testing::TempDir() + "/shell_prog.plg";
+  {
+    std::ofstream out(prog);
+    out << "peter[kids->>{tim,mary}].\n"
+           "X[desc->>{Y}] <- X[kids->>{Y}].\n";
+  }
+  std::string out = RunShell(
+      "?- peter[desc->>{Z}].\n"
+      "\\quit\n",
+      prog);
+  EXPECT_NE(out.find("loaded"), std::string::npos);
+  EXPECT_NE(out.find("(2 answers)"), std::string::npos);
+  std::remove(prog.c_str());
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,186 @@
+// Binary snapshot round-trips, including virtual (anonymous) objects.
+
+#include "store/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "query/database.h"
+#include "store/fact.h"
+#include "workload/company.h"
+
+namespace pathlog {
+namespace {
+
+void ExpectStoresEqual(const ObjectStore& a, const ObjectStore& b) {
+  ASSERT_EQ(a.UniverseSize(), b.UniverseSize());
+  for (Oid o = 0; o < a.UniverseSize(); ++o) {
+    EXPECT_EQ(a.kind(o), b.kind(o)) << o;
+    EXPECT_EQ(a.DisplayName(o), b.DisplayName(o)) << o;
+  }
+  ASSERT_EQ(a.generation(), b.generation());
+  for (uint64_t g = 0; g < a.generation(); ++g) {
+    EXPECT_EQ(a.FactAt(g), b.FactAt(g)) << g;
+  }
+}
+
+TEST(SnapshotTest, EmptyStore) {
+  ObjectStore store;
+  Result<ObjectStore> copy = DeserializeSnapshot(SerializeSnapshot(store));
+  ASSERT_TRUE(copy.ok()) << copy.status();
+  ExpectStoresEqual(store, *copy);
+}
+
+TEST(SnapshotTest, AllValueKindsRoundTrip) {
+  ObjectStore store;
+  Oid sym = store.InternSymbol("mary");
+  Oid neg = store.InternInt(-42);
+  Oid str = store.InternString("hello \"world\"\n");
+  Oid anon = store.NewAnonymous("_boss(mary)");
+  Oid m = store.InternSymbol("m");
+  ASSERT_TRUE(store.SetScalar(m, sym, {neg, str}, anon).ok());
+
+  Result<ObjectStore> copy = DeserializeSnapshot(SerializeSnapshot(store));
+  ASSERT_TRUE(copy.ok()) << copy.status();
+  ExpectStoresEqual(store, *copy);
+  EXPECT_EQ(copy->IntValue(neg), -42);
+  EXPECT_EQ(copy->kind(anon), ObjectKind::kAnonymous);
+  EXPECT_EQ(copy->GetScalar(m, sym, {neg, str}), anon);
+}
+
+TEST(SnapshotTest, GeneratedWorkloadRoundTrips) {
+  ObjectStore store;
+  CompanyConfig cfg;
+  cfg.num_employees = 150;
+  CompanyData data = GenerateCompany(&store, cfg);
+
+  Result<ObjectStore> copy = DeserializeSnapshot(SerializeSnapshot(store));
+  ASSERT_TRUE(copy.ok()) << copy.status();
+  ExpectStoresEqual(store, *copy);
+  // Derived indexes are rebuilt identically.
+  EXPECT_EQ(copy->Members(data.employee_class).size(),
+            store.Members(data.employee_class).size());
+  EXPECT_EQ(copy->ScalarMethods(), store.ScalarMethods());
+  EXPECT_EQ(copy->SetMethods(), store.SetMethods());
+}
+
+TEST(SnapshotTest, MaterializedVirtualObjectsSurvive) {
+  // The whole point: a store with skolems round-trips, which the text
+  // dump cannot do.
+  Database db;
+  ASSERT_TRUE(db.Load(R"(
+    p1 : employee[worksFor->cs1].
+    p2 : employee[worksFor->cs2].
+    X.boss[worksFor->D] <- X:employee[worksFor->D].
+  )").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+
+  Result<ObjectStore> copy =
+      DeserializeSnapshot(SerializeSnapshot(db.store()));
+  ASSERT_TRUE(copy.ok()) << copy.status();
+  ExpectStoresEqual(db.store(), *copy);
+
+  Oid boss = *copy->FindSymbol("boss");
+  Oid p1 = *copy->FindSymbol("p1");
+  std::optional<Oid> vb = copy->GetScalar(boss, p1, {});
+  ASSERT_TRUE(vb.has_value());
+  EXPECT_EQ(copy->DisplayName(*vb), "_boss(p1)");
+  EXPECT_EQ(copy->kind(*vb), ObjectKind::kAnonymous);
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  ObjectStore store;
+  CompanyConfig cfg;
+  cfg.num_employees = 30;
+  GenerateCompany(&store, cfg);
+  const std::string path = ::testing::TempDir() + "/pathlog_snapshot.bin";
+  ASSERT_TRUE(WriteSnapshotFile(store, path).ok());
+  Result<ObjectStore> copy = ReadSnapshotFile(path);
+  ASSERT_TRUE(copy.ok()) << copy.status();
+  ExpectStoresEqual(store, *copy);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, CorruptionDetected) {
+  ObjectStore store;
+  store.InternSymbol("a");
+  std::string bytes = SerializeSnapshot(store);
+
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  EXPECT_EQ(DeserializeSnapshot(bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Truncation at every prefix must error, never crash.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<ObjectStore> r = DeserializeSnapshot(bytes.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << cut;
+  }
+
+  // Trailing garbage.
+  EXPECT_EQ(DeserializeSnapshot(bytes + "junk").status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Missing file.
+  EXPECT_EQ(ReadSnapshotFile("/nonexistent/path.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, DatabaseSnapshotRestoresRulesAndSignatures) {
+  const std::string path = ::testing::TempDir() + "/pathlog_db.snap";
+  {
+    Database db;
+    ASSERT_TRUE(db.Load(R"(
+      person[age => integer].
+      ann : person[street->elm; city->ny; age->33].
+      X.address[street->X.street; city->X.city] <- X:person.
+    )").ok());
+    ASSERT_TRUE(db.Materialize().ok());
+    ASSERT_TRUE(db.SaveSnapshotFile(path).ok());
+  }
+  Result<Database> restored = Database::LoadSnapshotFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // Facts (including the virtual address) survived.
+  Result<bool> holds = restored->Holds("ann.address[city->ny]");
+  ASSERT_TRUE(holds.ok());
+  EXPECT_TRUE(*holds);
+  // Rules survived: new facts trigger new derivations.
+  ASSERT_TRUE(restored->Load(
+      "bob : person[street->oak; city->berlin].").ok());
+  Result<bool> bob = restored->Holds("bob.address[city->berlin]");
+  ASSERT_TRUE(bob.ok());
+  EXPECT_TRUE(*bob);
+  // Signatures survived: violations are still detected.
+  ASSERT_TRUE(restored->Load("cleo : person[age->ancient].").ok());
+  std::vector<TypeViolation> v;
+  ASSERT_TRUE(restored->TypeCheck(&v).ok());
+  EXPECT_EQ(v.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DatabaseSnapshotCorruptionDetected) {
+  const std::string path = ::testing::TempDir() + "/pathlog_db_bad.snap";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_FALSE(Database::LoadSnapshotFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SnapshotOfSnapshotIsIdentical) {
+  ObjectStore store;
+  CompanyConfig cfg;
+  cfg.num_employees = 40;
+  GenerateCompany(&store, cfg);
+  std::string once = SerializeSnapshot(store);
+  Result<ObjectStore> copy = DeserializeSnapshot(once);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(SerializeSnapshot(*copy), once);
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,92 @@
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+#include "base/result.h"
+#include "base/strings.h"
+
+namespace pathlog {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = ParseError("line 3: oops");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "line 3: oops");
+  EXPECT_EQ(s.ToString(), "ParseError: line 3: oops");
+}
+
+TEST(StatusTest, EveryConstructorMapsToItsCode) {
+  EXPECT_EQ(IllFormed("x").code(), StatusCode::kIllFormed);
+  EXPECT_EQ(UnsafeRule("x").code(), StatusCode::kUnsafeRule);
+  EXPECT_EQ(NotStratifiable("x").code(), StatusCode::kNotStratifiable);
+  EXPECT_EQ(ScalarConflict("x").code(), StatusCode::kScalarConflict);
+  EXPECT_EQ(TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = NotFound("missing");
+  Status b = a;
+  EXPECT_EQ(b.message(), "missing");
+  EXPECT_EQ(a.code(), b.code());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status(NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsNormalisedToInternal) {
+  Result<int> r = Status();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("a", 1, 'b', true), "a1btrue");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, Predicates) {
+  EXPECT_TRUE(StartsWith("pathlog", "path"));
+  EXPECT_FALSE(StartsWith("pa", "path"));
+  EXPECT_TRUE(IsAllDigits("123"));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits(""));
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -1,0 +1,194 @@
+// Unit tests for dependency analysis and stratification in isolation.
+
+#include "eval/stratify.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/dependency.h"
+#include "parser/parser.h"
+
+namespace pathlog {
+namespace {
+
+struct Built {
+  ObjectStore store;
+  std::vector<Rule> rules;
+  Result<DependencyGraph> graph = Status(Internal("unset"));
+};
+
+Built Build(std::initializer_list<const char*> rule_srcs,
+            HeadValueMode mode = HeadValueMode::kRequireDefined) {
+  Built b;
+  for (const char* src : rule_srcs) {
+    Result<Rule> r = ParseRule(src);
+    EXPECT_TRUE(r.ok()) << src << ": " << r.status();
+    b.rules.push_back(*r);
+  }
+  b.graph = DependencyGraph::Build(b.rules, &b.store, mode);
+  return b;
+}
+
+TEST(DependencyTest, DefinesAndReads) {
+  Built b = Build({"X[power->Y] <- X:automobile.engine[power->Y]."});
+  ASSERT_TRUE(b.graph.ok());
+  const RuleDeps& deps = b.graph->rule_deps()[0];
+  Oid power = *b.store.FindSymbol("power");
+  Oid engine = *b.store.FindSymbol("engine");
+  EXPECT_TRUE(deps.defines.count(power));
+  EXPECT_TRUE(deps.reads.count(engine));
+  EXPECT_TRUE(deps.reads.count(power));  // body filter reads power too
+  EXPECT_TRUE(deps.reads_isa);
+  EXPECT_FALSE(deps.defines_any);
+  EXPECT_TRUE(deps.reads_complete.empty());
+}
+
+TEST(DependencyTest, ClassHeadDefinesIsa) {
+  Built b = Build({"X:adult <- X[age->30]."});
+  ASSERT_TRUE(b.graph.ok());
+  EXPECT_TRUE(b.graph->rule_deps()[0].defines_isa);
+}
+
+TEST(DependencyTest, SetRefInBodyIsCompleteRead) {
+  Built b = Build({"X[ok->1] <- X[friends->>p1..assistants]."});
+  ASSERT_TRUE(b.graph.ok());
+  const RuleDeps& deps = b.graph->rule_deps()[0];
+  Oid assistants = *b.store.FindSymbol("assistants");
+  Oid friends = *b.store.FindSymbol("friends");
+  EXPECT_TRUE(deps.reads_complete.count(assistants));
+  EXPECT_FALSE(deps.reads_complete.count(friends));
+  EXPECT_TRUE(deps.reads.count(friends));
+}
+
+TEST(DependencyTest, NegatedLiteralIsCompleteRead) {
+  Built b = Build({"X[ok->1] <- X:thing, not X[bad->1]."});
+  ASSERT_TRUE(b.graph.ok());
+  const RuleDeps& deps = b.graph->rule_deps()[0];
+  Oid bad = *b.store.FindSymbol("bad");
+  EXPECT_TRUE(deps.reads_complete.count(bad));
+}
+
+TEST(DependencyTest, VariableMethodIsWildcard) {
+  Built b = Build({"X[(M.tc)->>{Y}] <- X[M->>{Y}]."});
+  ASSERT_TRUE(b.graph.ok());
+  const RuleDeps& deps = b.graph->rule_deps()[0];
+  EXPECT_TRUE(deps.defines_any);
+  EXPECT_TRUE(deps.reads_any);
+}
+
+TEST(DependencyTest, HeadValuePathReadVsDefineByMode) {
+  Built req = Build({"X.addr[c->X.city] <- X:person."},
+                    HeadValueMode::kRequireDefined);
+  ASSERT_TRUE(req.graph.ok());
+  Oid city = *req.store.FindSymbol("city");
+  EXPECT_FALSE(req.graph->rule_deps()[0].defines.count(city));
+  EXPECT_TRUE(req.graph->rule_deps()[0].reads.count(city));
+
+  Built sko = Build({"X.addr[c->X.city] <- X:person."},
+                    HeadValueMode::kSkolemize);
+  ASSERT_TRUE(sko.graph.ok());
+  Oid city2 = *sko.store.FindSymbol("city");
+  EXPECT_TRUE(sko.graph->rule_deps()[0].defines.count(city2));
+}
+
+TEST(StratifyTest, PositiveRecursionSingleStratum) {
+  Built b = Build({
+      "X[desc->>{Y}] <- X[kids->>{Y}].",
+      "X[desc->>{Y}] <- X..desc[kids->>{Y}].",
+  });
+  ASSERT_TRUE(b.graph.ok());
+  Result<Stratification> s = Stratify(*b.graph, b.rules.size());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata, 1);
+}
+
+TEST(StratifyTest, CompleteReadForcesHigherStratum) {
+  Built b = Build({
+      "X[assistants->>{Y}] <- X[helpers->>{Y}].",
+      "X[friends->>p1..assistants] <- X:person.",
+  });
+  ASSERT_TRUE(b.graph.ok());
+  Result<Stratification> s = Stratify(*b.graph, b.rules.size());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata, 2);
+  EXPECT_LT(s->rule_stratum[0], s->rule_stratum[1]);
+}
+
+TEST(StratifyTest, CompleteCycleRejectedWithDiagnostic) {
+  Built b = Build({
+      "X[assistants->>p1..assistants] <- X:person.",
+  });
+  ASSERT_TRUE(b.graph.ok());
+  Result<Stratification> s = Stratify(*b.graph, b.rules.size());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotStratifiable);
+  EXPECT_NE(s.status().message().find("assistants"), std::string::npos);
+}
+
+TEST(StratifyTest, MutualRecursionThroughNegationRejected) {
+  Built b = Build({
+      "X[a->1] <- X:thing, not X[b->1].",
+      "X[b->1] <- X:thing, not X[a->1].",
+  });
+  ASSERT_TRUE(b.graph.ok());
+  EXPECT_EQ(Stratify(*b.graph, b.rules.size()).status().code(),
+            StatusCode::kNotStratifiable);
+}
+
+TEST(StratifyTest, NegationChainGetsAscendingStrata) {
+  Built b = Build({
+      "X[a->1] <- X:thing.",
+      "X[b->1] <- X:thing, not X[a->1].",
+      "X[c->1] <- X:thing, not X[b->1].",
+  });
+  ASSERT_TRUE(b.graph.ok());
+  Result<Stratification> s = Stratify(*b.graph, b.rules.size());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata, 3);
+  EXPECT_LT(s->rule_stratum[0], s->rule_stratum[1]);
+  EXPECT_LT(s->rule_stratum[1], s->rule_stratum[2]);
+}
+
+TEST(StratifyTest, CoDefinedSymbolsShareAStratum) {
+  // One head defines both `a` and `b`; a second rule needs complete
+  // `a`, and a third defines `b` from it. If a and b were stratified
+  // independently this would wedge; co-definition links them.
+  Built b = Build({
+      "X[a->>{Y}; b->>{Y}] <- X[base->>{Y}].",
+      "X[c->>q..a] <- X:thing.",
+  });
+  ASSERT_TRUE(b.graph.ok());
+  Result<Stratification> s = Stratify(*b.graph, b.rules.size());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->rule_stratum[0], 0);
+  EXPECT_EQ(s->rule_stratum[1], 1);
+}
+
+TEST(StratifyTest, WildcardPlusCompleteReadIsConservativelyRejected) {
+  // Rule 1 may define *any* method (variable method position) and read
+  // any method, which collapses every symbol into one SCC; rule 2's
+  // needs-complete read of `friends` then sits on a cycle. The
+  // analysis is deliberately conservative here (DESIGN.md): generic
+  // wildcard rules cannot be combined with completion-dependent rules.
+  Built b = Build({
+      "X[(M.aux)->>{Y}] <- X[M->>{Y}].",
+      "X[ok->1] <- X[sub->>q..friends].",
+  });
+  ASSERT_TRUE(b.graph.ok());
+  Result<Stratification> s = Stratify(*b.graph, b.rules.size());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotStratifiable);
+}
+
+TEST(StratifyTest, FactsAreStratumZero) {
+  Built b = Build({
+      "p[kids->>{q}].",
+      "X[b->1] <- X:thing, not X[kids->>{q}].",
+  });
+  ASSERT_TRUE(b.graph.ok());
+  Result<Stratification> s = Stratify(*b.graph, b.rules.size());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->rule_stratum[0], 0);
+  EXPECT_GT(s->rule_stratum[1], 0);
+}
+
+}  // namespace
+}  // namespace pathlog

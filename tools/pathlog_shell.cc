@@ -1,0 +1,222 @@
+// pathlog: an interactive PathLog shell.
+//
+//   $ ./pathlog [file.plg ...]
+//
+// Loads the given program files, then reads clauses and queries from
+// stdin. Input is buffered until a clause-terminating '.' (so clauses
+// may span lines). Lines starting with '\' are shell commands — see
+// \help.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "pathlog/pathlog.h"
+#include "store/fact.h"
+
+namespace {
+
+constexpr const char* kHelp = R"(PathLog shell commands:
+  fact or rule clauses end with '.', e.g.   mary[age->30].
+  queries start with '?-':                  ?- X:employee[age->A].
+  \help             this message
+  \stats            store and engine statistics
+  \facts [n]        show the first n facts (default 20)
+  \rules            show the loaded rules
+  \explain <gen>    provenance of the fact with generation <gen>
+  \dump <file>      write all facts as a loadable program
+  \save <file>      save a binary snapshot (facts, rules, signatures)
+  \restore <file>   replace the session with a saved snapshot
+  \quit             exit
+)";
+
+class Shell {
+ public:
+  Shell() : db_(MakeOptions()) {}
+
+  static pathlog::DatabaseOptions MakeOptions() {
+    pathlog::DatabaseOptions opts;
+    opts.engine.trace_provenance = true;
+    return opts;
+  }
+
+  bool LoadFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      fprintf(stderr, "cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    pathlog::Status st = db_.Load(buffer.str());
+    if (!st.ok()) {
+      fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return false;
+    }
+    printf("loaded %s (%zu facts, %zu rules so far)\n", path.c_str(),
+           db_.store().FactCount(), db_.num_rules());
+    return true;
+  }
+
+  void Handle(const std::string& input) {
+    if (input.empty()) return;
+    if (input[0] == '\\') {
+      Command(input);
+      return;
+    }
+    if (input.rfind("?-", 0) == 0) {
+      pathlog::Result<pathlog::ResultSet> rs = db_.Query(input);
+      if (!rs.ok()) {
+        printf("%s\n", rs.status().ToString().c_str());
+        return;
+      }
+      printf("%s", rs->ToString(db_.store()).c_str());
+      printf("(%zu answer%s)\n", rs->size(), rs->size() == 1 ? "" : "s");
+      return;
+    }
+    pathlog::Status st = db_.Load(input);
+    if (!st.ok()) {
+      printf("%s\n", st.ToString().c_str());
+      return;
+    }
+    printf("ok.\n");
+  }
+
+  void Command(const std::string& input) {
+    std::istringstream iss(input);
+    std::string cmd;
+    iss >> cmd;
+    if (cmd == "\\help") {
+      printf("%s", kHelp);
+    } else if (cmd == "\\stats") {
+      if (db_.num_rules() > 0) {
+        pathlog::Status st = db_.Materialize();
+        if (!st.ok()) {
+          printf("%s\n", st.ToString().c_str());
+          return;
+        }
+      }
+      pathlog::ObjectStore::Stats s = db_.store().ComputeStats();
+      printf("objects: %zu\nisa facts: %zu\nscalar facts: %zu\n"
+             "set facts: %zu\nrules: %zu\n",
+             s.objects, s.isa_facts, s.scalar_facts, s.set_facts,
+             db_.num_rules());
+      const pathlog::EngineStats& es = db_.engine_stats();
+      printf("last run: %llu iterations, %llu derivations, "
+             "%llu virtual objects, %d strata\n",
+             static_cast<unsigned long long>(es.iterations),
+             static_cast<unsigned long long>(es.derivations),
+             static_cast<unsigned long long>(es.skolems_created),
+             es.num_strata);
+    } else if (cmd == "\\facts") {
+      size_t n = 20;
+      iss >> n;
+      const uint64_t end = db_.store().generation();
+      for (uint64_t g = 0; g < end && g < n; ++g) {
+        printf("%4llu  %s.\n", static_cast<unsigned long long>(g),
+               pathlog::FactToString(db_.store().FactAt(g),
+                                     db_.store()).c_str());
+      }
+      if (end > n) {
+        printf("... (%llu more)\n", static_cast<unsigned long long>(end - n));
+      }
+    } else if (cmd == "\\rules") {
+      for (size_t i = 0; i < db_.rules().size(); ++i) {
+        printf("  [%zu] %s\n", i, pathlog::ToString(db_.rules()[i]).c_str());
+      }
+      if (db_.rules().empty()) printf("  (no rules loaded)\n");
+    } else if (cmd == "\\explain") {
+      uint64_t gen = 0;
+      if (iss >> gen) {
+        printf("%s\n", db_.ExplainFact(gen).c_str());
+      } else {
+        printf("usage: \\explain <generation>\n");
+      }
+    } else if (cmd == "\\dump") {
+      std::string path;
+      if (iss >> path) {
+        std::ofstream out(path);
+        out << pathlog::StoreToProgramText(db_.store());
+        printf("wrote %zu facts to %s\n", db_.store().FactCount(),
+               path.c_str());
+      } else {
+        printf("usage: \\dump <file>\n");
+      }
+    } else if (cmd == "\\save") {
+      std::string path;
+      if (iss >> path) {
+        pathlog::Status st = db_.SaveSnapshotFile(path);
+        printf("%s\n", st.ok() ? "saved." : st.ToString().c_str());
+      } else {
+        printf("usage: \\save <file>\n");
+      }
+    } else if (cmd == "\\restore") {
+      std::string path;
+      if (iss >> path) {
+        pathlog::Result<pathlog::Database> restored =
+            pathlog::Database::LoadSnapshotFile(path, MakeOptions());
+        if (!restored.ok()) {
+          printf("%s\n", restored.status().ToString().c_str());
+        } else {
+          db_ = std::move(*restored);
+          printf("restored %zu facts, %zu rules.\n",
+                 db_.store().FactCount(), db_.num_rules());
+        }
+      } else {
+        printf("usage: \\restore <file>\n");
+      }
+    } else if (cmd == "\\quit" || cmd == "\\q") {
+      done_ = true;
+    } else {
+      printf("unknown command %s — try \\help\n", cmd.c_str());
+    }
+  }
+
+  int Run() {
+    std::string pending;
+    std::string line;
+    printf("PathLog shell — \\help for help, \\quit to exit.\n");
+    while (!done_) {
+      printf("%s", pending.empty() ? "pathlog> " : "     ...> ");
+      fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      // Trim trailing whitespace.
+      while (!line.empty() && isspace(static_cast<unsigned char>(line.back()))) {
+        line.pop_back();
+      }
+      if (pending.empty() && !line.empty() && line[0] == '\\') {
+        Handle(line);
+        continue;
+      }
+      pending += line;
+      pending += "\n";
+      // A clause is complete when the buffer ends with a terminator dot.
+      std::string trimmed = pending;
+      while (!trimmed.empty() &&
+             isspace(static_cast<unsigned char>(trimmed.back()))) {
+        trimmed.pop_back();
+      }
+      if (!trimmed.empty() && trimmed.back() == '.') {
+        Handle(trimmed);
+        pending.clear();
+      }
+    }
+    return 0;
+  }
+
+ private:
+  pathlog::Database db_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  for (int i = 1; i < argc; ++i) {
+    if (!shell.LoadFile(argv[i])) return 1;
+  }
+  return shell.Run();
+}
