@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_colors.dir/bench_colors.cc.o"
+  "CMakeFiles/bench_colors.dir/bench_colors.cc.o.d"
+  "bench_colors"
+  "bench_colors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_colors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intensional.dir/bench_intensional.cc.o"
+  "CMakeFiles/bench_intensional.dir/bench_intensional.cc.o.d"
+  "bench_intensional"
+  "bench_intensional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intensional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

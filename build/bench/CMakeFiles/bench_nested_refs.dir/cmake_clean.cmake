@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_refs.dir/bench_nested_refs.cc.o"
+  "CMakeFiles/bench_nested_refs.dir/bench_nested_refs.cc.o.d"
+  "bench_nested_refs"
+  "bench_nested_refs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

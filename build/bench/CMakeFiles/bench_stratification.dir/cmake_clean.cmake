@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stratification.dir/bench_stratification.cc.o"
+  "CMakeFiles/bench_stratification.dir/bench_stratification.cc.o.d"
+  "bench_stratification"
+  "bench_stratification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stratification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tc.dir/bench_tc.cc.o"
+  "CMakeFiles/bench_tc.dir/bench_tc.cc.o.d"
+  "bench_tc"
+  "bench_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_triggers.dir/bench_triggers.cc.o"
+  "CMakeFiles/bench_triggers.dir/bench_triggers.cc.o.d"
+  "bench_triggers"
+  "bench_triggers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_valuation.dir/bench_valuation.cc.o"
+  "CMakeFiles/bench_valuation.dir/bench_valuation.cc.o.d"
+  "bench_valuation"
+  "bench_valuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_valuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtual_objects.dir/bench_virtual_objects.cc.o"
+  "CMakeFiles/bench_virtual_objects.dir/bench_virtual_objects.cc.o.d"
+  "bench_virtual_objects"
+  "bench_virtual_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtual_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wellformedness.dir/bench_wellformedness.cc.o"
+  "CMakeFiles/bench_wellformedness.dir/bench_wellformedness.cc.o.d"
+  "bench_wellformedness"
+  "bench_wellformedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wellformedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_monitoring.dir/active_monitoring.cc.o"
+  "CMakeFiles/active_monitoring.dir/active_monitoring.cc.o.d"
+  "active_monitoring"
+  "active_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bom_explosion.dir/bom_explosion.cc.o"
+  "CMakeFiles/bom_explosion.dir/bom_explosion.cc.o.d"
+  "bom_explosion"
+  "bom_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bom_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

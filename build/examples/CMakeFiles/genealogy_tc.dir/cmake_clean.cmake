@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genealogy_tc.dir/genealogy_tc.cc.o"
+  "CMakeFiles/genealogy_tc.dir/genealogy_tc.cc.o.d"
+  "genealogy_tc"
+  "genealogy_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genealogy_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/active/trigger_engine.cc" "src/CMakeFiles/pathlog.dir/active/trigger_engine.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/active/trigger_engine.cc.o.d"
+  "/root/repo/src/ast/analysis.cc" "src/CMakeFiles/pathlog.dir/ast/analysis.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/ast/analysis.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/pathlog.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/ast/printer.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/CMakeFiles/pathlog.dir/ast/program.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/ast/program.cc.o.d"
+  "/root/repo/src/ast/ref.cc" "src/CMakeFiles/pathlog.dir/ast/ref.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/ast/ref.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/pathlog.dir/base/status.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/base/status.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/CMakeFiles/pathlog.dir/base/strings.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/base/strings.cc.o.d"
+  "/root/repo/src/baseline/conjunctive.cc" "src/CMakeFiles/pathlog.dir/baseline/conjunctive.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/baseline/conjunctive.cc.o.d"
+  "/root/repo/src/baseline/operators.cc" "src/CMakeFiles/pathlog.dir/baseline/operators.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/baseline/operators.cc.o.d"
+  "/root/repo/src/baseline/relation.cc" "src/CMakeFiles/pathlog.dir/baseline/relation.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/baseline/relation.cc.o.d"
+  "/root/repo/src/baseline/translate.cc" "src/CMakeFiles/pathlog.dir/baseline/translate.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/baseline/translate.cc.o.d"
+  "/root/repo/src/eval/dependency.cc" "src/CMakeFiles/pathlog.dir/eval/dependency.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/eval/dependency.cc.o.d"
+  "/root/repo/src/eval/engine.cc" "src/CMakeFiles/pathlog.dir/eval/engine.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/eval/engine.cc.o.d"
+  "/root/repo/src/eval/head_assert.cc" "src/CMakeFiles/pathlog.dir/eval/head_assert.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/eval/head_assert.cc.o.d"
+  "/root/repo/src/eval/ref_eval.cc" "src/CMakeFiles/pathlog.dir/eval/ref_eval.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/eval/ref_eval.cc.o.d"
+  "/root/repo/src/eval/stratify.cc" "src/CMakeFiles/pathlog.dir/eval/stratify.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/eval/stratify.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/pathlog.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/pathlog.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/parser/parser.cc.o.d"
+  "/root/repo/src/query/database.cc" "src/CMakeFiles/pathlog.dir/query/database.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/query/database.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/pathlog.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/query/planner.cc.o.d"
+  "/root/repo/src/query/result_set.cc" "src/CMakeFiles/pathlog.dir/query/result_set.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/query/result_set.cc.o.d"
+  "/root/repo/src/semantics/structure.cc" "src/CMakeFiles/pathlog.dir/semantics/structure.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/semantics/structure.cc.o.d"
+  "/root/repo/src/semantics/valuation.cc" "src/CMakeFiles/pathlog.dir/semantics/valuation.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/semantics/valuation.cc.o.d"
+  "/root/repo/src/store/fact.cc" "src/CMakeFiles/pathlog.dir/store/fact.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/store/fact.cc.o.d"
+  "/root/repo/src/store/object_store.cc" "src/CMakeFiles/pathlog.dir/store/object_store.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/store/object_store.cc.o.d"
+  "/root/repo/src/store/snapshot.cc" "src/CMakeFiles/pathlog.dir/store/snapshot.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/store/snapshot.cc.o.d"
+  "/root/repo/src/types/signature.cc" "src/CMakeFiles/pathlog.dir/types/signature.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/types/signature.cc.o.d"
+  "/root/repo/src/types/type_check.cc" "src/CMakeFiles/pathlog.dir/types/type_check.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/types/type_check.cc.o.d"
+  "/root/repo/src/workload/company.cc" "src/CMakeFiles/pathlog.dir/workload/company.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/workload/company.cc.o.d"
+  "/root/repo/src/workload/kinship.cc" "src/CMakeFiles/pathlog.dir/workload/kinship.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/workload/kinship.cc.o.d"
+  "/root/repo/src/workload/people.cc" "src/CMakeFiles/pathlog.dir/workload/people.cc.o" "gcc" "src/CMakeFiles/pathlog.dir/workload/people.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

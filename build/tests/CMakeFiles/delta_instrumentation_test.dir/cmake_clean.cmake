@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_instrumentation_test.dir/delta_instrumentation_test.cc.o"
+  "CMakeFiles/delta_instrumentation_test.dir/delta_instrumentation_test.cc.o.d"
+  "delta_instrumentation_test"
+  "delta_instrumentation_test.pdb"
+  "delta_instrumentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_instrumentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

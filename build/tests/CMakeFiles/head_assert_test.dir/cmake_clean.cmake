@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_assert_test.dir/head_assert_test.cc.o"
+  "CMakeFiles/head_assert_test.dir/head_assert_test.cc.o.d"
+  "head_assert_test"
+  "head_assert_test.pdb"
+  "head_assert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_assert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_eval_test.dir/ref_eval_test.cc.o"
+  "CMakeFiles/ref_eval_test.dir/ref_eval_test.cc.o.d"
+  "ref_eval_test"
+  "ref_eval_test.pdb"
+  "ref_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell_integration_test.dir/shell_integration_test.cc.o"
+  "CMakeFiles/shell_integration_test.dir/shell_integration_test.cc.o.d"
+  "shell_integration_test"
+  "shell_integration_test.pdb"
+  "shell_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratify_test.dir/stratify_test.cc.o"
+  "CMakeFiles/stratify_test.dir/stratify_test.cc.o.d"
+  "stratify_test"
+  "stratify_test.pdb"
+  "stratify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformation_equivalence_test.dir/transformation_equivalence_test.cc.o"
+  "CMakeFiles/transformation_equivalence_test.dir/transformation_equivalence_test.cc.o.d"
+  "transformation_equivalence_test"
+  "transformation_equivalence_test.pdb"
+  "transformation_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformation_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathlog_shell.dir/pathlog_shell.cc.o"
+  "CMakeFiles/pathlog_shell.dir/pathlog_shell.cc.o.d"
+  "pathlog"
+  "pathlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathlog_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pathlog_shell.
+# This may be replaced when dependencies are built.
