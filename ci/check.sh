@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate: sanitized Debug build, full test suite, and a lint pass
+# over every shipped example program.
+#
+#   ci/check.sh [build-dir]
+#
+# The build directory defaults to build-asan (kept separate from the
+# regular build/ so the sanitizer flags never leak into it).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# Examples must be lint-clean: exit 1 from pathlog_lint fails the gate.
+"${BUILD_DIR}/tools/pathlog_lint" examples/programs/*.plg
+"${BUILD_DIR}/tools/pathlog_lint" --json examples/programs/*.plg >/dev/null
+
+echo "ci/check.sh: all checks passed"

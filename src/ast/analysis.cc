@@ -121,31 +121,43 @@ Status CheckWellFormed(const Ref& t) {
   return Internal("CheckWellFormed: unknown reference kind");
 }
 
-void CollectVars(const Ref& t, std::set<std::string>* out) {
+void CollectVarCounts(const Ref& t, std::map<std::string, int>* out) {
   switch (t.kind) {
     case RefKind::kName:
       return;
     case RefKind::kVar:
-      out->insert(t.text);
+      ++(*out)[t.text];
       return;
     case RefKind::kParen:
-      CollectVars(*t.base, out);
+      CollectVarCounts(*t.base, out);
       return;
     case RefKind::kPath:
-      CollectVars(*t.base, out);
-      CollectVars(*t.method, out);
-      for (const RefPtr& a : t.args) CollectVars(*a, out);
+      CollectVarCounts(*t.base, out);
+      CollectVarCounts(*t.method, out);
+      for (const RefPtr& a : t.args) CollectVarCounts(*a, out);
       return;
     case RefKind::kMolecule:
-      CollectVars(*t.base, out);
+      CollectVarCounts(*t.base, out);
       for (const Filter& f : t.filters) {
-        if (f.method) CollectVars(*f.method, out);
-        for (const RefPtr& a : f.args) CollectVars(*a, out);
-        if (f.value) CollectVars(*f.value, out);
-        for (const RefPtr& e : f.elems) CollectVars(*e, out);
+        if (f.method) CollectVarCounts(*f.method, out);
+        for (const RefPtr& a : f.args) CollectVarCounts(*a, out);
+        if (f.value) CollectVarCounts(*f.value, out);
+        for (const RefPtr& e : f.elems) CollectVarCounts(*e, out);
       }
       return;
   }
+}
+
+std::map<std::string, int> VarCountsOf(const Ref& t) {
+  std::map<std::string, int> out;
+  CollectVarCounts(t, &out);
+  return out;
+}
+
+void CollectVars(const Ref& t, std::set<std::string>* out) {
+  std::map<std::string, int> counts;
+  CollectVarCounts(t, &counts);
+  for (const auto& kv : counts) out->insert(kv.first);
 }
 
 std::set<std::string> VarsOf(const Ref& t) {

@@ -4,6 +4,7 @@
 #ifndef PATHLOG_AST_ANALYSIS_H_
 #define PATHLOG_AST_ANALYSIS_H_
 
+#include <map>
 #include <set>
 #include <string>
 
@@ -34,7 +35,16 @@ bool IsSetValued(const Ref& t);
 /// programmatically built ASTs that bypassed the parser.
 Status CheckWellFormed(const Ref& t);
 
-/// Adds every variable occurring in `t` to `out`.
+/// Adds every occurrence of every variable in `t` to `out`, counting
+/// multiplicity (a variable occurring twice adds 2). This is the
+/// primary variable walk; the set-valued forms below are wrappers.
+void CollectVarCounts(const Ref& t, std::map<std::string, int>* out);
+
+/// Convenience: variable -> number of occurrences in `t`.
+std::map<std::string, int> VarCountsOf(const Ref& t);
+
+/// Adds every variable occurring in `t` to `out` (occurrence counts
+/// discarded).
 void CollectVars(const Ref& t, std::set<std::string>* out);
 
 /// Convenience: the set of variables of `t`.

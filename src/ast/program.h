@@ -19,6 +19,11 @@ namespace pathlog {
 struct Literal {
   RefPtr ref;
   bool negated = false;
+
+  /// Source position of the literal (the `not`, if negated, else the
+  /// reference); 0 when built programmatically.
+  int line = 0;
+  int column = 0;
 };
 
 /// `head <- body.` — with an empty body, a fact. The head must be a
@@ -28,6 +33,11 @@ struct Rule {
   RefPtr head;
   std::vector<Literal> body;
 
+  /// Source position of the clause's first token; 0 when built
+  /// programmatically.
+  int line = 0;
+  int column = 0;
+
   bool IsFact() const { return body.empty(); }
 };
 
@@ -35,6 +45,11 @@ struct Rule {
 /// variables (all of them, in name order).
 struct Query {
   std::vector<Literal> body;
+
+  /// Source position of the clause's first token; 0 when built
+  /// programmatically.
+  int line = 0;
+  int column = 0;
 };
 
 /// A method signature: `class[m @(argtypes) => result]` (scalar) or
@@ -47,6 +62,11 @@ struct SignatureDecl {
   std::vector<RefPtr> arg_types;
   RefPtr result_type;
   bool set_valued = false;
+
+  /// Source position of the declaration (the method token); 0 when
+  /// built programmatically.
+  int line = 0;
+  int column = 0;
 };
 
 /// `head <~ event, conditions.` — an active (event-condition-action)

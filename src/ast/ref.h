@@ -78,6 +78,13 @@ struct Filter {
 struct Ref {
   RefKind kind;
 
+  /// Source position of the first token of this reference (1-based);
+  /// 0 when the reference was built programmatically rather than
+  /// parsed. Ignored by RefEquals — spans are presentation, not
+  /// identity.
+  int line = 0;
+  int column = 0;
+
   // kName / kVar
   NameKind name_kind = NameKind::kSymbol;
   std::string text;       ///< symbol text, variable name, string value

@@ -202,9 +202,11 @@ Result<DependencyGraph> DependencyGraph::Build(const std::vector<Rule>& rules,
   // A molecule head may define several symbols at once; the rule must
   // run in one stratum, so co-defined symbols are cycle-linked to force
   // them into the same SCC (hence the same stratum).
-  for (const std::vector<uint32_t>& defs : g.rule_define_nodes_) {
+  for (size_t r = 0; r < g.rule_define_nodes_.size(); ++r) {
+    const std::vector<uint32_t>& defs = g.rule_define_nodes_[r];
     for (size_t i = 0; defs.size() > 1 && i < defs.size(); ++i) {
-      g.edges_.push_back(Edge{defs[i], defs[(i + 1) % defs.size()], false});
+      g.edges_.push_back(Edge{defs[i], defs[(i + 1) % defs.size()], false,
+                              static_cast<int32_t>(r)});
     }
   }
 
@@ -224,7 +226,7 @@ Result<DependencyGraph> DependencyGraph::Build(const std::vector<Rule>& rules,
     }
     for (uint32_t d : g.rule_define_nodes_[r]) {
       for (auto [to, complete] : read_nodes) {
-        g.edges_.push_back(Edge{d, to, complete});
+        g.edges_.push_back(Edge{d, to, complete, static_cast<int32_t>(r)});
       }
     }
   }
@@ -234,8 +236,8 @@ Result<DependencyGraph> DependencyGraph::Build(const std::vector<Rule>& rules,
   // read any method makes the wildcard depend on every method.
   if (any_defines_any || any_reads_any) {
     for (uint32_t n = 2; n < g.node_names_.size(); ++n) {
-      if (any_defines_any) g.edges_.push_back(Edge{n, kAnyNode, false});
-      if (any_reads_any) g.edges_.push_back(Edge{kAnyNode, n, false});
+      if (any_defines_any) g.edges_.push_back(Edge{n, kAnyNode, false, -1});
+      if (any_reads_any) g.edges_.push_back(Edge{kAnyNode, n, false, -1});
     }
   }
   return g;

@@ -67,6 +67,10 @@ class DependencyGraph {
     uint32_t from;  // node index of a defined symbol
     uint32_t to;    // node index of a read symbol
     bool needs_complete;
+    /// Index of the rule that contributed this edge, or -1 for
+    /// synthetic coupling edges (wildcard fan-out). Used to explain
+    /// stratification failures rule by rule.
+    int32_t rule = -1;
   };
 
   static constexpr uint32_t kAnyNode = 0;

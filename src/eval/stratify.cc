@@ -67,10 +67,47 @@ std::vector<int> TarjanScc(size_t n,
   return scc;
 }
 
+/// BFS from `from` to `to` over edges whose endpoints both lie in SCC
+/// `component`, returning the traversed edge chain (empty when from ==
+/// to and no self-edge is needed). All nodes of one SCC are mutually
+/// reachable, so the search always succeeds.
+std::vector<DependencyGraph::Edge> FindPathInScc(
+    const DependencyGraph& graph, const std::vector<int>& scc, int component,
+    uint32_t from, uint32_t to) {
+  std::vector<std::vector<const DependencyGraph::Edge*>> out(
+      graph.num_nodes());
+  for (const DependencyGraph::Edge& e : graph.edges()) {
+    if (scc[e.from] == component && scc[e.to] == component) {
+      out[e.from].push_back(&e);
+    }
+  }
+  std::vector<const DependencyGraph::Edge*> via(graph.num_nodes(), nullptr);
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::vector<uint32_t> queue{from};
+  seen[from] = true;
+  for (size_t i = 0; i < queue.size(); ++i) {
+    uint32_t u = queue[i];
+    if (u == to && i > 0) break;
+    for (const DependencyGraph::Edge* e : out[u]) {
+      if (seen[e->to]) continue;
+      seen[e->to] = true;
+      via[e->to] = e;
+      queue.push_back(e->to);
+    }
+  }
+  std::vector<DependencyGraph::Edge> path;
+  for (uint32_t u = to; via[u] != nullptr; u = via[u]->from) {
+    path.push_back(*via[u]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
 }  // namespace
 
 Result<Stratification> Stratify(const DependencyGraph& graph,
-                                size_t num_rules) {
+                                size_t num_rules,
+                                CycleExplanation* cycle) {
   const size_t n = graph.num_nodes();
   std::vector<std::vector<uint32_t>> adj(n);
   for (const DependencyGraph::Edge& e : graph.edges()) {
@@ -82,6 +119,13 @@ Result<Stratification> Stratify(const DependencyGraph& graph,
   // Reject needs-complete edges inside an SCC.
   for (const DependencyGraph::Edge& e : graph.edges()) {
     if (e.needs_complete && scc[e.from] == scc[e.to]) {
+      if (cycle != nullptr) {
+        cycle->edges.clear();
+        cycle->edges.push_back(e);
+        std::vector<DependencyGraph::Edge> back =
+            FindPathInScc(graph, scc, scc[e.from], e.to, e.from);
+        cycle->edges.insert(cycle->edges.end(), back.begin(), back.end());
+      }
       return Status(NotStratifiable(StrCat(
           "method '", graph.NodeName(e.from),
           "' recursively depends on the *complete* result set of '",

@@ -26,9 +26,24 @@ struct Stratification {
   int num_strata = 1;
 };
 
+/// Why a program is not stratifiable: a cycle of dependency edges in
+/// one strongly connected component. `edges.front()` is the closing
+/// needs-complete edge (the `->>` filter result or negation); the
+/// remaining edges chain `edges.front().to` back to
+/// `edges.front().from` through ordinary dependencies. Each edge
+/// carries the index of the contributing rule (-1 for synthetic
+/// wildcard-coupling edges), so a linter can print the offending rule
+/// chain verbatim.
+struct CycleExplanation {
+  std::vector<DependencyGraph::Edge> edges;
+};
+
 /// Computes strata, or kNotStratifiable naming the offending cycle.
+/// On failure, `cycle` (if non-null) receives the offending edge
+/// chain for diagnostics.
 Result<Stratification> Stratify(const DependencyGraph& graph,
-                                size_t num_rules);
+                                size_t num_rules,
+                                CycleExplanation* cycle = nullptr);
 
 }  // namespace pathlog
 

@@ -84,11 +84,24 @@ class ParserImpl {
         StrCat("line ", t.line, ", column ", t.column, ": ", what));
   }
 
+  /// Stamps a freshly constructed (and therefore parser-owned, not yet
+  /// shared) reference with a source position.
+  static RefPtr At(RefPtr r, int line, int column) {
+    Ref* node = const_cast<Ref*>(r.get());
+    node->line = line;
+    node->column = column;
+    return r;
+  }
+
   // --- clauses --------------------------------------------------------
 
   Status ParseClause(Program* prog) {
+    const int clause_line = Peek().line;
+    const int clause_column = Peek().column;
     if (Match(TokenKind::kQuery)) {
       Query q;
+      q.line = clause_line;
+      q.column = clause_column;
       PATHLOG_RETURN_IF_ERROR(ParseLiterals(&q.body));
       PATHLOG_RETURN_IF_ERROR(
           Expect(TokenKind::kTermDot, "at end of query"));
@@ -99,6 +112,8 @@ class ParserImpl {
       return ParseSignatureClause(prog);
     }
     Rule rule;
+    rule.line = clause_line;
+    rule.column = clause_column;
     {
       Result<RefPtr> head = ParseRef();
       if (!head.ok()) return head.status();
@@ -123,6 +138,8 @@ class ParserImpl {
   Status ParseLiterals(std::vector<Literal>* out) {
     do {
       Literal lit;
+      lit.line = Peek().line;
+      lit.column = Peek().column;
       lit.negated = Match(TokenKind::kNot);
       Result<RefPtr> r = ParseRef();
       if (!r.ok()) return r.status();
@@ -185,6 +202,8 @@ class ParserImpl {
     do {
       SignatureDecl sig;
       sig.klass = klass;
+      sig.line = Peek().line;
+      sig.column = Peek().column;
       PATHLOG_ASSIGN_OR_RETURN(sig.method, ParseSimple("signature method"));
       if (Check(TokenKind::kAt)) {
         PATHLOG_RETURN_IF_ERROR(ParseArgs(&sig.arg_types));
@@ -229,6 +248,8 @@ class ParserImpl {
       return Status(Error(StrCat("references nested deeper than ",
                                  kMaxNestingDepth, " levels")));
     }
+    const int start_line = Peek().line;
+    const int start_column = Peek().column;
     PATHLOG_ASSIGN_OR_RETURN(RefPtr r, ParsePrimary());
     // Consecutive filter postfixes (`[...]`, `:c`) accumulate into one
     // molecule node — `t[f1][f2]`, `t[f1; f2]` and `t[f1]:c` are the
@@ -236,13 +257,16 @@ class ParserImpl {
     // printer/parser round-trip canonical.
     bool molecule_chain = false;
     int steps = 0;
-    auto append_filters = [&r](std::vector<Filter> filters, bool chained) {
+    auto append_filters = [&r, start_line, start_column](
+                              std::vector<Filter> filters, bool chained) {
       if (chained) {
         std::vector<Filter> combined = r->filters;
         for (Filter& f : filters) combined.push_back(std::move(f));
-        r = Ref::Molecule(r->base, std::move(combined));
+        r = At(Ref::Molecule(r->base, std::move(combined)), start_line,
+               start_column);
       } else {
-        r = Ref::Molecule(std::move(r), std::move(filters));
+        r = At(Ref::Molecule(std::move(r), std::move(filters)), start_line,
+               start_column);
       }
     };
     for (;;) {
@@ -256,7 +280,8 @@ class ParserImpl {
         if (Check(TokenKind::kAt)) {
           PATHLOG_RETURN_IF_ERROR(ParseArgs(&args));
         }
-        r = Ref::ScalarPath(std::move(r), std::move(m), std::move(args));
+        r = At(Ref::ScalarPath(std::move(r), std::move(m), std::move(args)),
+               start_line, start_column);
         molecule_chain = false;
       } else if (Match(TokenKind::kDotDot)) {
         PATHLOG_ASSIGN_OR_RETURN(RefPtr m, ParseSimple("path method"));
@@ -264,7 +289,8 @@ class ParserImpl {
         if (Check(TokenKind::kAt)) {
           PATHLOG_RETURN_IF_ERROR(ParseArgs(&args));
         }
-        r = Ref::SetPath(std::move(r), std::move(m), std::move(args));
+        r = At(Ref::SetPath(std::move(r), std::move(m), std::move(args)),
+               start_line, start_column);
         molecule_chain = false;
       } else if (Match(TokenKind::kLBracket)) {
         std::vector<Filter> filters;
@@ -291,22 +317,22 @@ class ParserImpl {
     switch (t.kind) {
       case TokenKind::kName:
         Advance();
-        return Ref::Name(t.text);
+        return At(Ref::Name(t.text), t.line, t.column);
       case TokenKind::kInt:
         Advance();
-        return Ref::Int(t.int_value);
+        return At(Ref::Int(t.int_value), t.line, t.column);
       case TokenKind::kString:
         Advance();
-        return Ref::Str(t.text);
+        return At(Ref::Str(t.text), t.line, t.column);
       case TokenKind::kVar:
         Advance();
-        return Ref::Var(t.text);
+        return At(Ref::Var(t.text), t.line, t.column);
       case TokenKind::kLParen: {
         Advance();
         PATHLOG_ASSIGN_OR_RETURN(RefPtr inner, ParseRef());
         PATHLOG_RETURN_IF_ERROR(
             Expect(TokenKind::kRParen, "after bracketed reference"));
-        return Ref::Paren(std::move(inner));
+        return At(Ref::Paren(std::move(inner)), t.line, t.column);
       }
       default:
         return Status(Error(StrCat("expected a reference, got ",
@@ -319,22 +345,22 @@ class ParserImpl {
     switch (t.kind) {
       case TokenKind::kName:
         Advance();
-        return Ref::Name(t.text);
+        return At(Ref::Name(t.text), t.line, t.column);
       case TokenKind::kVar:
         Advance();
-        return Ref::Var(t.text);
+        return At(Ref::Var(t.text), t.line, t.column);
       case TokenKind::kInt:
         Advance();
-        return Ref::Int(t.int_value);
+        return At(Ref::Int(t.int_value), t.line, t.column);
       case TokenKind::kString:
         Advance();
-        return Ref::Str(t.text);
+        return At(Ref::Str(t.text), t.line, t.column);
       case TokenKind::kLParen: {
         Advance();
         PATHLOG_ASSIGN_OR_RETURN(RefPtr inner, ParseRef());
         PATHLOG_RETURN_IF_ERROR(
             Expect(TokenKind::kRParen, "after bracketed reference"));
-        return Ref::Paren(std::move(inner));
+        return At(Ref::Paren(std::move(inner)), t.line, t.column);
       }
       default:
         return Status(Error(StrCat("expected a simple reference as ", context,
@@ -389,7 +415,8 @@ class ParserImpl {
       return Status(
           Error("selector filter cannot take '@(...)' arguments"));
     }
-    return Ref::ScalarFilter(Ref::Name(kSelfMethodName), std::move(head));
+    RefPtr self = At(Ref::Name(kSelfMethodName), head->line, head->column);
+    return Ref::ScalarFilter(std::move(self), std::move(head));
   }
 
   std::vector<Token> tokens_;

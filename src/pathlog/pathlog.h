@@ -32,6 +32,8 @@
 #include "base/result.h"        // IWYU pragma: export
 #include "base/status.h"        // IWYU pragma: export
 #include "eval/engine.h"        // IWYU pragma: export
+#include "lint/diagnostic.h"    // IWYU pragma: export
+#include "lint/lint.h"          // IWYU pragma: export
 #include "parser/parser.h"      // IWYU pragma: export
 #include "query/database.h"     // IWYU pragma: export
 #include "query/result_set.h"   // IWYU pragma: export

@@ -76,6 +76,13 @@ Status Database::LoadProgram(const Program& program) {
         "programs loaded into a Database must not contain `?-` queries; "
         "run them with Database::Query");
   }
+  if (options_.lint_on_load) {
+    LintOptions lint_options;
+    lint_options.head_value_mode = options_.engine.head_value_mode;
+    lint_options.errors_only = true;
+    PATHLOG_RETURN_IF_ERROR(
+        ReportToStatus(ProgramLinter(lint_options).Lint(program)));
+  }
   for (const SignatureDecl& sig : program.signatures) {
     PATHLOG_RETURN_IF_ERROR(signatures_.Declare(sig, &store_));
     signature_text_ += ToString(sig);
@@ -251,6 +258,28 @@ Status Database::TypeCheck(std::vector<TypeViolation>* violations) const {
   TypeChecker checker(store_, signatures_);
   checker.CheckAll(violations);
   return Status::OK();
+}
+
+LintReport Database::Lint() const {
+  Program program;
+  program.rules = rules_;
+  program.triggers = triggers_;
+  // Facts were asserted at load time rather than kept as Rule objects,
+  // and signatures live in the SignatureTable; recover the declaration
+  // forms from the loadable signature text.
+  if (!signature_text_.empty()) {
+    Result<Program> sigs = ParseProgram(signature_text_);
+    if (sigs.ok()) program.signatures = std::move(sigs->signatures);
+  }
+  LintOptions lint_options;
+  lint_options.head_value_mode = options_.engine.head_value_mode;
+  for (Oid m : store_.ScalarMethods()) {
+    lint_options.assume_defined.insert(store_.DisplayName(m));
+  }
+  for (Oid m : store_.SetMethods()) {
+    lint_options.assume_defined.insert(store_.DisplayName(m));
+  }
+  return ProgramLinter(std::move(lint_options)).Lint(program);
 }
 
 Status Database::FireTriggers() {

@@ -21,6 +21,7 @@
 #include "ast/program.h"
 #include "base/result.h"
 #include "eval/engine.h"
+#include "lint/lint.h"
 #include "query/result_set.h"
 #include "store/object_store.h"
 #include "types/signature.h"
@@ -37,6 +38,9 @@ struct DatabaseOptions {
   /// Fire active rules automatically as part of every materialisation
   /// (after the deductive fixpoint). Off: call FireTriggers() manually.
   bool fire_triggers_on_materialize = false;
+  /// Run the linter (errors only) over every program before installing
+  /// it; Load/LoadProgram fail with the first lint error's status.
+  bool lint_on_load = false;
 };
 
 class Database {
@@ -84,6 +88,11 @@ class Database {
 
   /// Type-checks the whole store against the declared signatures.
   Status TypeCheck(std::vector<TypeViolation>* violations) const;
+
+  /// Lints everything installed so far: rules, triggers, and declared
+  /// signatures. Methods with extensional facts in the store count as
+  /// defined, so PL011 does not fire for them.
+  LintReport Lint() const;
 
   /// Explains how the fact with generation `gen` came to be:
   /// "extensional." for directly asserted facts; otherwise the deriving

@@ -1,0 +1,77 @@
+// pathlog_lint: command-line front end for the PathLog linter.
+//
+//   pathlog_lint [--json] FILE...
+//
+// Lints each file independently and prints the diagnostics, human
+// readable by default ("file:line:col: severity[PLxxx]: message") or
+// one JSON object per file with --json.
+//
+// Exit status: 0 when every file is clean, 1 when any file produced a
+// diagnostic (warning or error), 2 on usage or I/O errors.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--json] FILE...\n"
+            << "Static analysis for PathLog programs.\n"
+            << "  --json   one JSON report object per file, one per line\n"
+            << "exit status: 0 clean, 1 diagnostics found, 2 usage/IO error\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << argv[0] << ": unknown option: " << arg << "\n";
+      return Usage(argv[0]);
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) return Usage(argv[0]);
+
+  pathlog::ProgramLinter linter;
+  bool any_findings = false;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << argv[0] << ": cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    pathlog::LintReport report = linter.LintSource(text.str());
+    if (!report.empty()) any_findings = true;
+    if (json) {
+      std::cout << report.ToJson(file) << "\n";
+    } else {
+      std::cout << report.ToString(file);
+      if (report.empty()) {
+        std::cout << file << ": clean\n";
+      } else {
+        std::cout << file << ": " << report.errors() << " error(s), "
+                  << report.warnings() << " warning(s)\n";
+      }
+    }
+  }
+  return any_findings ? 1 : 0;
+}

@@ -26,6 +26,7 @@ constexpr const char* kHelp = R"(PathLog shell commands:
   \facts [n]        show the first n facts (default 20)
   \rules            show the loaded rules
   \explain <gen>    provenance of the fact with generation <gen>
+  \lint [file]      lint the loaded program, or a .plg file (:lint works too)
   \dump <file>      write all facts as a loadable program
   \save <file>      save a binary snapshot (facts, rules, signatures)
   \restore <file>   replace the session with a saved snapshot
@@ -64,6 +65,10 @@ class Shell {
     if (input.empty()) return;
     if (input[0] == '\\') {
       Command(input);
+      return;
+    }
+    if (input.rfind(":lint", 0) == 0) {
+      Command("\\lint" + input.substr(5));
       return;
     }
     if (input.rfind("?-", 0) == 0) {
@@ -167,6 +172,36 @@ class Shell {
       } else {
         printf("usage: \\restore <file>\n");
       }
+    } else if (cmd == "\\lint") {
+      std::string path;
+      if (iss >> path) {
+        std::ifstream in(path);
+        if (!in) {
+          printf("cannot open %s\n", path.c_str());
+          return;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        pathlog::LintReport report =
+            pathlog::ProgramLinter().LintSource(buffer.str());
+        printf("%s", report.ToString(path).c_str());
+        if (report.empty()) {
+          printf("%s: clean\n", path.c_str());
+        } else {
+          printf("%s: %zu error(s), %zu warning(s)\n", path.c_str(),
+                 report.errors(), report.warnings());
+        }
+      } else {
+        pathlog::LintReport report = db_.Lint();
+        printf("%s", report.ToString("<session>").c_str());
+        if (report.empty()) {
+          printf("lint: clean (%zu rules, %zu triggers)\n",
+                 db_.num_rules(), db_.num_triggers());
+        } else {
+          printf("lint: %zu error(s), %zu warning(s)\n", report.errors(),
+                 report.warnings());
+        }
+      }
     } else if (cmd == "\\quit" || cmd == "\\q") {
       done_ = true;
     } else {
@@ -186,7 +221,8 @@ class Shell {
       while (!line.empty() && isspace(static_cast<unsigned char>(line.back()))) {
         line.pop_back();
       }
-      if (pending.empty() && !line.empty() && line[0] == '\\') {
+      if (pending.empty() && !line.empty() &&
+          (line[0] == '\\' || line.rfind(":lint", 0) == 0)) {
         Handle(line);
         continue;
       }
