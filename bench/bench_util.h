@@ -41,6 +41,27 @@ inline T CheckResult(Result<T> r, const char* what) {
   return std::move(r).value();
 }
 
+/// A database with inverted-index evaluation toggled explicitly —
+/// benchmarks pair an indexed run with a NoIndex twin to measure the
+/// bound-target path-matching win.
+inline Database MakeDatabase(bool use_inverted_indexes) {
+  DatabaseOptions opts;
+  opts.engine.use_inverted_indexes = use_inverted_indexes;
+  return Database(opts);
+}
+
+/// Attaches the machine-readable counters every benchmark JSON row
+/// carries (ci/bench_smoke.sh archives them): answer count, stored
+/// fact count, and facts handled per second of wall time.
+inline void ReportThroughput(benchmark::State& state, const Database& db,
+                             size_t answers) {
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["facts"] = static_cast<double>(db.store().FactCount());
+  state.counters["facts_per_sec"] = benchmark::Counter(
+      static_cast<double>(db.store().FactCount()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
 /// A company database at scale `num_employees` (other knobs default).
 inline CompanyConfig ScaledCompany(int64_t num_employees) {
   CompanyConfig cfg;

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Bench smoke gate: builds the two headline benchmarks and runs their
+# bound-target rows at small scale, archiving machine-readable JSON
+# (one BENCH_<name>.json per binary) for trend tracking.
+#
+#   ci/bench_smoke.sh [build-dir] [out-dir]
+#
+# The build directory defaults to build-bench (Release — benchmark
+# numbers from a Debug tree are meaningless); JSON lands in out-dir
+# (default: bench-results/).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+OUT_DIR="${2:-bench-results}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+  --target bench_nested_refs bench_second_dimension
+
+mkdir -p "${OUT_DIR}"
+
+# The BoundTarget rows pair an indexed run with its NoIndex twin; the
+# IndexAgreementCheck rows abort the binary if the two evaluation
+# modes ever disagree, so a clean exit doubles as a correctness probe.
+"${BUILD_DIR}/bench/bench_nested_refs" \
+  --benchmark_filter='BoundTarget|IndexAgreementCheck' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out="${OUT_DIR}/BENCH_nested_refs.json" \
+  --benchmark_out_format=json
+
+"${BUILD_DIR}/bench/bench_second_dimension" \
+  --benchmark_filter='BoundTarget|IndexAgreementCheck' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out="${OUT_DIR}/BENCH_second_dimension.json" \
+  --benchmark_out_format=json
+
+echo "ci/bench_smoke.sh: benchmark JSON written to ${OUT_DIR}/"

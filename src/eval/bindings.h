@@ -47,6 +47,11 @@ class Bindings {
 
   size_t size() const { return map_.size(); }
 
+  /// The variable bound at trail position i (0 <= i < Mark()), oldest
+  /// first. With Get(), this exposes every binding made since a mark —
+  /// the evaluator keys duplicate-solution suppression on it.
+  const std::string& TrailVar(size_t i) const { return trail_[i]; }
+
   /// The current bindings as a Definition-4 style valuation.
   VarValuation ToValuation() const {
     return VarValuation(map_.begin(), map_.end());

@@ -207,7 +207,7 @@ Status Engine::CheckLimits() const {
 Status Engine::EvaluateRule(PlannedRule* pr, HeadAsserter* asserter,
                             std::optional<uint64_t> delta_from) {
   SemanticStructure I(*store_);
-  RefEvaluator eval(I);
+  RefEvaluator eval(I, options_.use_inverted_indexes);
   Bindings b;
 
   // Body enumeration must not mutate the store (iterator stability), so

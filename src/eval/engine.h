@@ -57,6 +57,11 @@ struct EngineOptions {
   /// Engine::provenance and Database::ExplainFact). Off by default:
   /// records cost memory proportional to the number of derivations.
   bool trace_provenance = false;
+  /// Drive bound-target path matching and molecule enumeration from
+  /// the store's inverted value→receiver / member→receiver indexes.
+  /// Answers are identical either way; disabling exists so the
+  /// differential tests can prove that, and to measure the win.
+  bool use_inverted_indexes = true;
   /// Hard ceilings that turn non-terminating programs into errors.
   uint64_t max_iterations = 1'000'000;
   uint64_t max_facts = 20'000'000;

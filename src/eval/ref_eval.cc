@@ -1,7 +1,9 @@
 #include "eval/ref_eval.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "ast/analysis.h"
 #include "ast/printer.h"
@@ -70,7 +72,7 @@ Result<bool> RefEvaluator::Enumerate(const Ref& t, Bindings* b,
     case RefKind::kParen:
       return Enumerate(*t.base, b, emit);
     case RefKind::kPath:
-      return EnumPath(t, b, emit);
+      return EnumPathDeduped(t, b, emit);
     case RefKind::kMolecule:
       return EnumMolecule(t, b, emit);
   }
@@ -132,12 +134,71 @@ Result<bool> RefEvaluator::MatchRef(const Ref& t, Oid target, Bindings* b,
         return CheckFilters(d.filters, 0, target, b, cont);
       });
     default:
-      // Paths have no inverted index; enumerate and compare.
+      if (use_inverted_ && d.kind == RefKind::kPath) {
+        return MatchPath(d, target, b, cont);
+      }
+      // Indexes disabled: enumerate the path and compare.
       return Enumerate(t, b, [&](Oid o) -> Result<bool> {
         if (o != target) return true;
         return cont();
       });
   }
+}
+
+Result<bool> RefEvaluator::MatchPath(const Ref& t, Oid target, Bindings* b,
+                                     const Cont& cont) {
+  return EnumMethod(
+      *t.method, t.set_valued_path, b, [&](Oid um) -> Result<bool> {
+        if (!t.set_valued_path) {
+          if (I_.IsSelf(um) && t.args.empty()) {
+            // base.self denotes whatever base denotes.
+            return MatchRef(*t.base, target, b, cont);
+          }
+          if (I_.IsGuard(um)) {
+            // Guards are identity-preserving partial functions: the
+            // path denotes the target iff the base does and the guard
+            // holds on the target.
+            return MatchRef(*t.base, target, b, [&]() -> Result<bool> {
+              std::vector<Oid> argv(t.args.size());
+              return EnumArgValues(t.args, 0, &argv, b, [&]() -> Result<bool> {
+                if (I_.Scalar(um, target, argv)) return cont();
+                return true;
+              });
+            });
+          }
+          // Stored scalar facts: walk value→receiver backwards. Every
+          // fact with this value is one candidate derivation; the base
+          // pattern and argument patterns prune the rest.
+          const std::vector<uint32_t>& idxs =
+              I_.store().ScalarEntriesByValue(um, target);
+          const std::vector<ScalarEntry>& entries = I_.store().ScalarEntries(um);
+          for (uint32_t i : idxs) {
+            const ScalarEntry& e = entries[i];
+            if (e.args.size() != t.args.size()) continue;
+            DeltaGuard guard(this, e.gen);
+            Result<bool> r =
+                MatchRef(*t.base, e.recv, b, [&]() -> Result<bool> {
+                  return MatchArgs(t.args, e.args, 0, b, cont);
+                });
+            if (!r.ok() || !*r) return r;
+          }
+          return true;
+        }
+        // Set-valued: walk member→receiver backwards.
+        const std::vector<SetMemberRef>& refs =
+            I_.store().SetGroupsByMember(um, target);
+        const std::vector<SetGroup>& groups = I_.store().SetGroups(um);
+        for (const SetMemberRef& mr : refs) {
+          const SetGroup& g = groups[mr.group];
+          if (g.args.size() != t.args.size()) continue;
+          DeltaGuard guard(this, g.member_gens[mr.pos]);
+          Result<bool> r = MatchRef(*t.base, g.recv, b, [&]() -> Result<bool> {
+            return MatchArgs(t.args, g.args, 0, b, cont);
+          });
+          if (!r.ok() || !*r) return r;
+        }
+        return true;
+      });
 }
 
 Result<bool> RefEvaluator::MatchArgs(const std::vector<RefPtr>& refs,
@@ -208,6 +269,39 @@ Result<bool> RefEvaluator::EnumPath(const Ref& t, Bindings* b,
                       }
                       return EnumSetInvocations(um, *t.base, t.args, b, emit);
                     });
+}
+
+Result<bool> RefEvaluator::EnumPathDeduped(const Ref& t, Bindings* b,
+                                           const EmitFn& emit) {
+  if (delta_active_) {
+    // In delta mode every derivation must surface so its fact
+    // generations are seen; suppression would hide whether the
+    // designated literal consumed a new fact.
+    return EnumPath(t, b, emit);
+  }
+  // A path can denote one object through several derivations (two
+  // receivers sharing a value, one member in two groups). When the
+  // repeat also carries identical bindings it is the same solution, so
+  // it is suppressed here — the one place every path emission passes.
+  const size_t entry_mark = b->Mark();
+  std::set<std::pair<Oid, std::vector<std::pair<std::string, Oid>>>> seen;
+  return EnumPath(t, b, [&](Oid o) -> Result<bool> {
+    std::vector<std::pair<std::string, Oid>> extension;
+    const size_t mark = b->Mark();
+    extension.reserve(mark - entry_mark);
+    for (size_t i = entry_mark; i < mark; ++i) {
+      const std::string& var = b->TrailVar(i);
+      extension.emplace_back(var, *b->Get(var));
+    }
+    if (!seen.emplace(o, std::move(extension)).second) {
+      // The enumeration site already counted this emission; it is not
+      // delivered, so it must not count.
+      --emit_count_;
+      ++duplicates_suppressed_;
+      return true;
+    }
+    return emit(o);
+  });
 }
 
 Result<bool> RefEvaluator::EnumScalarInvocations(
@@ -319,54 +413,134 @@ Result<bool> RefEvaluator::EnumMolecule(const Ref& t, Bindings* b,
     });
   }
 
-  // The base is an unbound variable: choose an index-driven candidate
-  // set instead of scanning the universe.
+  // The base is an unbound variable: choose the cheapest index-driven
+  // candidate set any filter can supply instead of scanning the
+  // universe. Every option over-approximates the molecule's solutions
+  // (all filters are re-checked below, with delta guards at the
+  // consumption sites), so smaller is merely faster, never wrong.
+  const ObjectStore& store = I_.store();
   std::vector<Oid> candidates;
   bool driven = false;
 
   auto method_oid = [&](const RefPtr& m) -> std::optional<Oid> {
     const Ref& dm = Deref(*m);
-    if (dm.kind == RefKind::kName) return LookupName(I_.store(), dm);
+    if (dm.kind == RefKind::kName) return LookupName(store, dm);
     if (dm.kind == RefKind::kVar) return b->Get(dm.text);
     return std::nullopt;
   };
 
-  // 1. A class filter with a resolvable class: use its extent.
-  for (const Filter& f : t.filters) {
-    if (f.kind != FilterKind::kClass) continue;
-    std::optional<Oid> c = method_oid(f.value);
-    if (c) {
-      candidates = I_.store().Members(*c);
-      driven = true;
-      break;
+  enum class Drive {
+    kNone,
+    kClassExtent,   // members of a resolvable class filter
+    kScalarValue,   // inverted probe: receivers yielding a known value
+    kSetMember,     // inverted probe: receivers containing a known elem
+    kScalarRecvs,   // all receivers of a scalar filter's method
+    kSetRecvs,      // all receivers of a set filter's method
+  };
+  Drive drive = Drive::kNone;
+  size_t best_cost = 0;
+  Oid drive_m = kNilOid;
+  Oid drive_v = kNilOid;
+  auto consider = [&](Drive d, size_t cost, Oid m, Oid v) {
+    if (drive == Drive::kNone || cost < best_cost) {
+      drive = d;
+      best_cost = cost;
+      drive_m = m;
+      drive_v = v;
     }
-    const Ref& dc = Deref(*f.value);
-    if (dc.kind == RefKind::kName) {
-      return true;  // class name not interned: empty extent
+  };
+
+  for (const Filter& f : t.filters) {
+    if (f.kind == FilterKind::kClass) {
+      std::optional<Oid> c = method_oid(f.value);
+      if (c) {
+        consider(Drive::kClassExtent, store.Members(*c).size(), *c, kNilOid);
+      } else if (Deref(*f.value).kind == RefKind::kName) {
+        return true;  // class name not interned: empty extent
+      }
+      continue;
+    }
+    std::optional<Oid> m = method_oid(f.method);
+    // Built-ins (self, guards) have no stored extent to drive from;
+    // treating them as drivers would wrongly yield zero candidates.
+    if (!m || I_.IsBuiltinScalar(*m)) continue;
+    if (f.kind == FilterKind::kScalar) {
+      if (use_inverted_) {
+        if (std::optional<Oid> v = method_oid(f.value)) {
+          consider(Drive::kScalarValue,
+                   store.ScalarEntriesByValue(*m, *v).size(), *m, *v);
+          continue;
+        }
+        if (Deref(*f.value).kind == RefKind::kName) {
+          return true;  // value name not interned: filter unsatisfiable
+        }
+      }
+      consider(Drive::kScalarRecvs, store.ScalarEntries(*m).size(), *m,
+               kNilOid);
+    } else {
+      if (use_inverted_ && f.kind == FilterKind::kSetEnum) {
+        for (const RefPtr& e : f.elems) {
+          if (std::optional<Oid> v = method_oid(e)) {
+            consider(Drive::kSetMember, store.SetGroupsByMember(*m, *v).size(),
+                     *m, *v);
+          } else if (Deref(*e).kind == RefKind::kName) {
+            return true;  // element not interned: cannot be a member
+          }
+        }
+      }
+      consider(Drive::kSetRecvs, store.SetGroups(*m).size(), *m, kNilOid);
     }
   }
-  // 2. A method filter with a resolvable method: use its receivers.
-  if (!driven) {
-    for (const Filter& f : t.filters) {
-      if (f.kind == FilterKind::kClass) continue;
-      std::optional<Oid> m = method_oid(f.method);
-      if (!m || I_.IsSelf(*m)) continue;
+
+  switch (drive) {
+    case Drive::kClassExtent:
+      candidates = store.Members(drive_m);
+      driven = true;
+      break;
+    case Drive::kScalarValue: {
       std::unordered_set<Oid> seen;
-      if (f.kind == FilterKind::kScalar) {
-        for (const ScalarEntry& e : I_.store().ScalarEntries(*m)) {
-          if (seen.insert(e.recv).second) candidates.push_back(e.recv);
-        }
-      } else {
-        for (const SetGroup& g : I_.store().SetGroups(*m)) {
-          if (seen.insert(g.recv).second) candidates.push_back(g.recv);
+      const std::vector<ScalarEntry>& entries = store.ScalarEntries(drive_m);
+      for (uint32_t i : store.ScalarEntriesByValue(drive_m, drive_v)) {
+        if (seen.insert(entries[i].recv).second) {
+          candidates.push_back(entries[i].recv);
         }
       }
       driven = true;
       break;
     }
+    case Drive::kSetMember: {
+      std::unordered_set<Oid> seen;
+      const std::vector<SetGroup>& groups = store.SetGroups(drive_m);
+      for (const SetMemberRef& mr : store.SetGroupsByMember(drive_m, drive_v)) {
+        if (seen.insert(groups[mr.group].recv).second) {
+          candidates.push_back(groups[mr.group].recv);
+        }
+      }
+      driven = true;
+      break;
+    }
+    case Drive::kScalarRecvs: {
+      std::unordered_set<Oid> seen;
+      for (const ScalarEntry& e : store.ScalarEntries(drive_m)) {
+        if (seen.insert(e.recv).second) candidates.push_back(e.recv);
+      }
+      driven = true;
+      break;
+    }
+    case Drive::kSetRecvs: {
+      std::unordered_set<Oid> seen;
+      for (const SetGroup& g : store.SetGroups(drive_m)) {
+        if (seen.insert(g.recv).second) candidates.push_back(g.recv);
+      }
+      driven = true;
+      break;
+    }
+    case Drive::kNone:
+      break;
   }
-  // 3. A self filter with a fully bound value: its denotation is the
-  //    candidate set (e.g. X[self->mary]).
+
+  // Fallback: a self filter with a fully bound value — its denotation
+  // is the candidate set (e.g. X[self->mary]).
   if (!driven) {
     for (const Filter& f : t.filters) {
       if (f.kind != FilterKind::kScalar || !f.args.empty()) continue;

@@ -37,7 +37,14 @@ class RefEvaluator {
   /// continue enumeration, false to stop early.
   using EmitFn = std::function<Result<bool>(Oid)>;
 
-  explicit RefEvaluator(const SemanticStructure& I) : I_(I) {}
+  /// `use_inverted_indexes` selects whether path matching against a
+  /// bound target and molecule driving may probe the store's inverted
+  /// value→receiver / member→receiver indexes. Answers are identical
+  /// either way (the differential tests prove it); disabling exists for
+  /// that proof and for benchmarking the enumerate-and-compare cost.
+  explicit RefEvaluator(const SemanticStructure& I,
+                        bool use_inverted_indexes = true)
+      : I_(I), use_inverted_(use_inverted_indexes) {}
 
   /// Enumerates all (object, bindings-extension) solutions of `t`.
   /// On return, `b` is restored to its entry state.
@@ -55,6 +62,10 @@ class RefEvaluator {
 
   /// Statistics for benchmarks: how many emit calls happened.
   uint64_t emit_count() const { return emit_count_; }
+
+  /// How many duplicate path emissions (same object, same bindings,
+  /// different derivations) were suppressed at the emit boundary.
+  uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
 
   // --- Delta-restricted mode (literal-level semi-naive) --------------
   //
@@ -106,6 +117,13 @@ class RefEvaluator {
   /// Succeeds once for every way `t` can denote `target`.
   Result<bool> MatchRef(const Ref& t, Oid target, Bindings* b,
                         const Cont& cont);
+  /// MatchRef for paths: drives backwards from the bound target through
+  /// the store's inverted indexes (value→receiver for `.m`,
+  /// member→receiver for `..m`) instead of enumerating the path's whole
+  /// denotation and comparing. Built-ins (`self`, guards), which have
+  /// no stored extent, keep their computed semantics.
+  Result<bool> MatchPath(const Ref& t, Oid target, Bindings* b,
+                         const Cont& cont);
   /// Pairwise MatchRef over parallel vectors.
   Result<bool> MatchArgs(const std::vector<RefPtr>& refs,
                          const std::vector<Oid>& oids, size_t i, Bindings* b,
@@ -124,6 +142,11 @@ class RefEvaluator {
                              const Cont& cont);
 
   Result<bool> EnumPath(const Ref& t, Bindings* b, const EmitFn& emit);
+  /// EnumPath wrapped in duplicate suppression: a path may denote the
+  /// same object through several derivations (e.g. `mary..vehicles.color`
+  /// with two same-colour vehicles); emissions that repeat both the
+  /// object and every binding made since entry are dropped.
+  Result<bool> EnumPathDeduped(const Ref& t, Bindings* b, const EmitFn& emit);
   Result<bool> EnumMolecule(const Ref& t, Bindings* b, const EmitFn& emit);
   Result<bool> CheckFilters(const std::vector<Filter>& filters, size_t i,
                             Oid u0, Bindings* b, const Cont& cont);
@@ -145,7 +168,9 @@ class RefEvaluator {
   bool AllVarsBound(const Ref& t, const Bindings& b) const;
 
   const SemanticStructure& I_;
+  bool use_inverted_ = true;
   uint64_t emit_count_ = 0;
+  uint64_t duplicates_suppressed_ = 0;
   bool delta_active_ = false;
   uint64_t delta_from_ = 0;
   int delta_count_ = 0;

@@ -165,7 +165,7 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
   ResultSet result(vars);
 
   SemanticStructure I(store_);
-  RefEvaluator eval(I);
+  RefEvaluator eval(I, options_.engine.use_inverted_indexes);
   Bindings b;
   std::function<Result<bool>(size_t)> go = [&](size_t i) -> Result<bool> {
     if (i == body.size()) {
@@ -227,7 +227,7 @@ Result<std::vector<Oid>> Database::Eval(std::string_view ref_text) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
   SemanticStructure I(store_);
-  RefEvaluator eval(I);
+  RefEvaluator eval(I, options_.engine.use_inverted_indexes);
   Bindings b;
   std::vector<Oid> out;
   Result<bool> r = eval.Enumerate(**ref, &b, [&](Oid o) -> Result<bool> {
@@ -249,7 +249,7 @@ Result<bool> Database::Holds(std::string_view ref_text) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
   SemanticStructure I(store_);
-  RefEvaluator eval(I);
+  RefEvaluator eval(I, options_.engine.use_inverted_indexes);
   Bindings b;
   return eval.Satisfiable(**ref, &b);
 }

@@ -45,28 +45,57 @@ double DriverCardinality(const std::vector<Filter>& filters,
     }
     return std::nullopt;
   };
-  // Mirror ref_eval's driver preference: class extent first.
+  auto runtime_bound = [&](const RefPtr& m) {
+    const Ref& d = Deref(*m);
+    return d.kind == RefKind::kVar && bound.count(d.text) > 0;
+  };
+  // Mirror ref_eval's driver: the cheapest candidate set any filter
+  // can supply, with the universe as the fallback.
+  double best = static_cast<double>(store.UniverseSize());
+  auto consider = [&](double c) { best = std::min(best, c); };
   for (const Filter& f : filters) {
-    if (f.kind != FilterKind::kClass) continue;
-    if (std::optional<Oid> c = resolvable(f.value)) {
-      return static_cast<double>(store.Members(*c).size());
+    if (f.kind == FilterKind::kClass) {
+      if (std::optional<Oid> c = resolvable(f.value)) {
+        consider(static_cast<double>(store.Members(*c).size()));
+      }
+      continue;
+    }
+    std::optional<Oid> m = resolvable(f.method);
+    if (!m) continue;
+    // Built-ins (self, guards) have no extent to drive from.
+    if (store.kind(*m) == ObjectKind::kSymbol &&
+        IsBuiltinMethodName(store.DisplayName(*m))) {
+      continue;
+    }
+    if (f.kind == FilterKind::kScalar) {
+      if (std::optional<Oid> v = resolvable(f.value)) {
+        // Inverted value→receiver probe: the bucket is the driver.
+        consider(static_cast<double>(store.ScalarEntriesByValue(*m, *v).size()));
+      } else if (runtime_bound(f.value)) {
+        // The value is bound at runtime but unknown here; assume an
+        // average inverted-index bucket.
+        size_t buckets = store.ScalarDistinctValues(*m);
+        size_t entries = store.ScalarEntries(*m).size();
+        consider(buckets == 0 ? 0.0
+                              : static_cast<double>(entries) /
+                                    static_cast<double>(buckets));
+      } else {
+        consider(static_cast<double>(store.ScalarEntries(*m).size()));
+      }
+    } else {
+      if (f.kind == FilterKind::kSetEnum) {
+        for (const RefPtr& e : f.elems) {
+          if (std::optional<Oid> v = resolvable(e)) {
+            // Inverted member→receiver probe.
+            consider(
+                static_cast<double>(store.SetGroupsByMember(*m, *v).size()));
+          }
+        }
+      }
+      consider(static_cast<double>(store.SetGroups(*m).size()));
     }
   }
-  for (const Filter& f : filters) {
-    if (f.kind == FilterKind::kClass) continue;
-    if (std::optional<Oid> m = resolvable(f.method)) {
-      // Built-ins (self, guards) have no extent to drive from.
-      if (store.kind(*m) == ObjectKind::kSymbol &&
-          IsBuiltinMethodName(store.DisplayName(*m))) {
-        continue;
-      }
-      if (f.kind == FilterKind::kScalar) {
-        return static_cast<double>(store.ScalarEntries(*m).size());
-      }
-      return static_cast<double>(store.SetGroups(*m).size());
-    }
-  }
-  return static_cast<double>(store.UniverseSize());
+  return best;
 }
 
 /// Cost of evaluating `t`'s anchor (its leftmost primary) and walking

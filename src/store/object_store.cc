@@ -186,6 +186,7 @@ Status ObjectStore::SetScalar(Oid m, Oid recv, const std::vector<Oid>& args,
   t.entries.push_back(ScalarEntry{recv, args, value, log_.size()});
   t.index.emplace(std::move(key), idx);
   t.by_recv[recv].push_back(idx);
+  t.by_value[value].push_back(idx);
   log_.push_back(Fact{FactKind::kScalar, m, recv, args, value});
   return Status::OK();
 }
@@ -212,6 +213,19 @@ const std::vector<uint32_t>& ObjectStore::ScalarEntriesByRecv(Oid m,
   return it == mt->second.by_recv.end() ? kEmptyIdx : it->second;
 }
 
+const std::vector<uint32_t>& ObjectStore::ScalarEntriesByValue(
+    Oid m, Oid value) const {
+  auto mt = scalar_.find(m);
+  if (mt == scalar_.end()) return kEmptyIdx;
+  auto it = mt->second.by_value.find(value);
+  return it == mt->second.by_value.end() ? kEmptyIdx : it->second;
+}
+
+size_t ObjectStore::ScalarDistinctValues(Oid m) const {
+  auto mt = scalar_.find(m);
+  return mt == scalar_.end() ? 0 : mt->second.by_value.size();
+}
+
 std::vector<Oid> ObjectStore::ScalarMethods() const {
   std::vector<Oid> out;
   out.reserve(scalar_.size());
@@ -224,6 +238,8 @@ std::vector<Oid> ObjectStore::ScalarMethods() const {
 
 bool ObjectStore::AddSetMember(Oid m, Oid recv, const std::vector<Oid>& args,
                                Oid value) {
+  assert(Valid(m) && Valid(recv) && Valid(value) &&
+         "AddSetMember: invalid oid");
   SetTable& t = setval_[m];
   InvocationKey key{recv, args};
   auto it = t.index.find(key);
@@ -241,6 +257,8 @@ bool ObjectStore::AddSetMember(Oid m, Oid recv, const std::vector<Oid>& args,
   }
   SetGroup& g = t.groups[gi];
   if (!g.member_set.emplace(value, log_.size()).second) return false;
+  t.by_member[value].push_back(
+      SetMemberRef{gi, static_cast<uint32_t>(g.members.size())});
   g.members.push_back(value);
   g.member_gens.push_back(log_.size());
   log_.push_back(Fact{FactKind::kSetMember, m, recv, args, value});
@@ -267,6 +285,20 @@ const std::vector<uint32_t>& ObjectStore::SetGroupsByRecv(Oid m,
   if (mt == setval_.end()) return kEmptyIdx;
   auto it = mt->second.by_recv.find(recv);
   return it == mt->second.by_recv.end() ? kEmptyIdx : it->second;
+}
+
+const std::vector<SetMemberRef>& ObjectStore::SetGroupsByMember(
+    Oid m, Oid member) const {
+  static const std::vector<SetMemberRef> kEmptyRefs;
+  auto mt = setval_.find(m);
+  if (mt == setval_.end()) return kEmptyRefs;
+  auto it = mt->second.by_member.find(member);
+  return it == mt->second.by_member.end() ? kEmptyRefs : it->second;
+}
+
+size_t ObjectStore::SetDistinctMembers(Oid m) const {
+  auto mt = setval_.find(m);
+  return mt == setval_.end() ? 0 : mt->second.by_member.size();
 }
 
 std::vector<Oid> ObjectStore::SetMethods() const {

@@ -31,6 +31,7 @@
 #ifndef PATHLOG_STORE_OBJECT_STORE_H_
 #define PATHLOG_STORE_OBJECT_STORE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -87,6 +88,14 @@ struct SetGroup {
   }
 };
 
+/// Address of one membership fact inside a method's group list: the
+/// group's index in SetGroups(m) and the member's position within that
+/// group (indexes members and member_gens alike).
+struct SetMemberRef {
+  uint32_t group;
+  uint32_t pos;
+};
+
 /// The mutable object store. Copyable: a copy is an independent
 /// snapshot (used by the engine to run naive/semi-naive as oracles
 /// against each other and by tests for rollback).
@@ -110,16 +119,31 @@ class ObjectStore {
   std::optional<Oid> FindInt(int64_t value) const;
   std::optional<Oid> FindString(std::string_view text) const;
 
-  ObjectKind kind(Oid o) const { return objects_[o].kind; }
+  ObjectKind kind(Oid o) const {
+    assert(Valid(o) && "kind: oid out of range");
+    return objects_[o].kind;
+  }
   /// The display form: symbol text, decimal digits, quoted string, or
   /// the synthetic `_m(recv)` name of an anonymous object.
-  const std::string& DisplayName(Oid o) const { return objects_[o].name; }
-  /// Integer value of a kInt object.
-  int64_t IntValue(Oid o) const { return objects_[o].int_value; }
+  const std::string& DisplayName(Oid o) const {
+    assert(Valid(o) && "DisplayName: oid out of range");
+    return objects_[o].name;
+  }
+  /// Integer value of a kInt object. The value field is meaningless for
+  /// any other kind, so reading it through a wrong-kind Oid is a bug.
+  int64_t IntValue(Oid o) const {
+    assert(ValidAs(o, ObjectKind::kInt) && "IntValue: not an integer oid");
+    return objects_[o].int_value;
+  }
 
   /// Number of objects in the universe.
   size_t UniverseSize() const { return objects_.size(); }
   bool Valid(Oid o) const { return o < objects_.size(); }
+  /// Valid() plus a kind check — use before kind-specific reads such as
+  /// IntValue().
+  bool ValidAs(Oid o, ObjectKind k) const {
+    return Valid(o) && objects_[o].kind == k;
+  }
 
   // --- Class hierarchy (<=_U) ---------------------------------------
 
@@ -169,6 +193,18 @@ class ObjectStore {
   /// Indexes of entries in ScalarEntries(m) whose receiver is recv.
   const std::vector<uint32_t>& ScalarEntriesByRecv(Oid m, Oid recv) const;
 
+  /// Indexes of entries in ScalarEntries(m) whose *value* is value —
+  /// the inverted value→receiver index. Maintained incrementally by
+  /// SetScalar, so entry order (and thus generation order) is
+  /// preserved within each bucket.
+  const std::vector<uint32_t>& ScalarEntriesByValue(Oid m, Oid value) const;
+
+  /// Number of distinct values among the facts of scalar method m
+  /// (the inverted index's bucket count; used by the planner to
+  /// estimate the average bucket size when a value is bound only at
+  /// runtime).
+  size_t ScalarDistinctValues(Oid m) const;
+
   /// All methods with at least one scalar fact.
   std::vector<Oid> ScalarMethods() const;
 
@@ -187,6 +223,16 @@ class ObjectStore {
 
   /// Indexes of groups in SetGroups(m) whose receiver is recv.
   const std::vector<uint32_t>& SetGroupsByRecv(Oid m, Oid recv) const;
+
+  /// Positions of membership facts of m whose member is `member` —
+  /// the inverted member→receiver index. Each SetMemberRef addresses
+  /// one membership fact: `SetGroups(m)[r.group]` is the group and
+  /// `r.pos` indexes its members/member_gens arrays.
+  const std::vector<SetMemberRef>& SetGroupsByMember(Oid m, Oid member) const;
+
+  /// Number of distinct members among the facts of set method m (the
+  /// inverted index's bucket count).
+  size_t SetDistinctMembers(Oid m) const;
 
   /// All methods with at least one set-valued fact.
   std::vector<Oid> SetMethods() const;
@@ -222,12 +268,16 @@ class ObjectStore {
     std::unordered_map<InvocationKey, uint32_t, InvocationKeyHash> index;
     std::vector<ScalarEntry> entries;
     std::unordered_map<Oid, std::vector<uint32_t>> by_recv;
+    /// Inverted index: value -> entry indexes, in insertion order.
+    std::unordered_map<Oid, std::vector<uint32_t>> by_value;
   };
 
   struct SetTable {
     std::unordered_map<InvocationKey, uint32_t, InvocationKeyHash> index;
     std::vector<SetGroup> groups;
     std::unordered_map<Oid, std::vector<uint32_t>> by_recv;
+    /// Inverted index: member -> membership facts, in insertion order.
+    std::unordered_map<Oid, std::vector<SetMemberRef>> by_member;
   };
 
   Oid AddObject(ObjectInfo info);

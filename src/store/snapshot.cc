@@ -157,6 +157,20 @@ Result<ObjectStore> DeserializeSnapshot(std::string_view bytes) {
     for (uint16_t i = 0; i < argc; ++i) args[i] = r.U32();
     Oid value = r.U32();
     if (!r.Ok()) break;
+    // Every fact oid must refer to an object declared above; without
+    // this check a corrupt file would plant out-of-range oids in the
+    // tables (AddSetMember trusts its caller) and later reads would be
+    // out of bounds. Replay through the public mutators below then
+    // rebuilds every derived index — forward, inverted, and hierarchy
+    // closure — so none of them are serialized.
+    bool oids_ok = store.Valid(method) && store.Valid(recv) &&
+                   (kind == FactKind::kIsa || store.Valid(value));
+    for (Oid a : args) oids_ok = oids_ok && store.Valid(a);
+    if (!oids_ok) {
+      return Status(InvalidArgument(
+          StrCat("snapshot corrupt: fact ", g, " references an oid outside "
+                 "the object table")));
+    }
     switch (kind) {
       case FactKind::kIsa:
         PATHLOG_RETURN_IF_ERROR(store.AddIsa(recv, method));

@@ -54,15 +54,16 @@ class RefEvalTest : public ::testing::Test {
   }
 
   /// All (object, bindings) solutions, as display-name maps with "_" for
-  /// the denoted object.
+  /// the denoted object. Pass use_inverted_indexes=false to force
+  /// enumerate-and-compare evaluation.
   std::set<std::map<std::string, std::string>> Solutions(
-      std::string_view src) {
+      std::string_view src, bool use_inverted_indexes = true) {
     Result<RefPtr> r = ParseRef(src);
     EXPECT_TRUE(r.ok()) << r.status();
     std::set<std::map<std::string, std::string>> out;
     if (!r.ok()) return out;
     SemanticStructure I(store_);
-    RefEvaluator eval(I);
+    RefEvaluator eval(I, use_inverted_indexes);
     Bindings b;
     Result<bool> res = eval.Enumerate(**r, &b, [&](Oid o) -> Result<bool> {
       std::map<std::string, std::string> row;
@@ -292,6 +293,96 @@ TEST_F(RefEvalTest, PathOverSetValuedBaseFlattens) {
 TEST_F(RefEvalTest, BareUnboundVariableScansUniverse) {
   auto sols = Solutions("X[self->mary]");
   EXPECT_EQ(sols, (std::set<Row>{{{"_", "mary"}, {"X", "mary"}}}));
+}
+
+TEST_F(RefEvalTest, DuplicatePathDerivationsEmitOnce) {
+  // Regression: a path denoting one object through two derivations
+  // (two of mary's vehicles sharing a colour) used to emit it twice.
+  Oid color = *store_.FindSymbol("color");
+  Oid vehicles = *store_.FindSymbol("vehicles");
+  Oid car2 = store_.InternSymbol("car2");
+  store_.AddSetMember(vehicles, mary_, {}, car2);
+  ASSERT_TRUE(store_.SetScalar(color, car2, {}, red_).ok());
+
+  Result<RefPtr> r = ParseRef("mary..vehicles.color");
+  ASSERT_TRUE(r.ok());
+  SemanticStructure I(store_);
+  RefEvaluator eval(I);
+  Bindings b;
+  std::multiset<std::string> emitted;
+  Result<bool> res = eval.Enumerate(**r, &b, [&](Oid o) -> Result<bool> {
+    emitted.insert(store_.DisplayName(o));
+    return true;
+  });
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(emitted, (std::multiset<std::string>{"blue", "red"}));
+  EXPECT_EQ(eval.duplicates_suppressed(), 1u);
+}
+
+TEST_F(RefEvalTest, DuplicateSuppressionKeepsDistinctBindings) {
+  // Same object, different bindings: both solutions must survive.
+  Oid color = *store_.FindSymbol("color");
+  Oid vehicles = *store_.FindSymbol("vehicles");
+  Oid car2 = store_.InternSymbol("car2");
+  store_.AddSetMember(vehicles, mary_, {}, car2);
+  ASSERT_TRUE(store_.SetScalar(color, car2, {}, red_).ok());
+  auto sols = Solutions("mary..vehicles[V].color");
+  EXPECT_EQ(sols, (std::set<Row>{{{"_", "red"}, {"V", "car1"}},
+                                 {{"_", "red"}, {"V", "car2"}},
+                                 {{"_", "blue"}, {"V", "bike1"}}}));
+}
+
+TEST_F(RefEvalTest, GuardFilterDoesNotPretendToDrive) {
+  // Regression: a molecule over an unbound variable whose only filter
+  // is a comparison guard must fall back to scanning the universe —
+  // guards have no stored extent, so "driving" from one wrongly
+  // produced zero candidates.
+  store_.InternSymbol("lt");
+  store_.InternInt(35);
+  auto sols = Solutions("X[lt@(35)->Y]");
+  EXPECT_EQ(sols, (std::set<Row>{{{"_", "4"}, {"X", "4"}, {"Y", "4"}},
+                                 {{"_", "30"}, {"X", "30"}, {"Y", "30"}}}));
+}
+
+TEST_F(RefEvalTest, MatchesScalarPathAgainstBoundTarget) {
+  // The self filter pushes the bound object `red` into the path
+  // pattern X.color: an inverted value→receiver probe.
+  auto sols = Solutions("red[self->X.color]");
+  EXPECT_EQ(sols, (std::set<Row>{{{"_", "red"}, {"X", "car1"}}}));
+}
+
+TEST_F(RefEvalTest, MatchesSetPathAgainstBoundTarget) {
+  // member→receiver probe: whose vehicle set contains car1?
+  auto sols = Solutions("car1[self->X..vehicles]");
+  EXPECT_EQ(sols, (std::set<Row>{{{"_", "car1"}, {"X", "mary"}}}));
+}
+
+TEST_F(RefEvalTest, MoleculeDrivesFromInvertedValueIndex) {
+  auto sols = Solutions("X[color->red]");
+  EXPECT_EQ(sols, (std::set<Row>{{{"_", "car1"}, {"X", "car1"}}}));
+  auto sols2 = Solutions("X[vehicles->>{car1}]");
+  EXPECT_EQ(sols2, (std::set<Row>{{{"_", "mary"}, {"X", "mary"}}}));
+}
+
+TEST_F(RefEvalTest, IndexedAndUnindexedSolutionsAgree) {
+  store_.InternSymbol("lt");
+  store_.InternInt(35);
+  const char* kRefs[] = {
+      "mary..vehicles.color",
+      "mary..vehicles[V].color",
+      "red[self->X.color]",
+      "car1[self->X..vehicles]",
+      "X:employee[age->A]",
+      "X[color->red]",
+      "X[vehicles->>{car1}]",
+      "X[vehicles->>{V:automobile}]",
+      "X[lt@(35)->Y]",
+      "X[color->C]",
+  };
+  for (const char* s : kRefs) {
+    EXPECT_EQ(Solutions(s), Solutions(s, /*use_inverted_indexes=*/false))
+        << s;
+  }
 }
 
 }  // namespace

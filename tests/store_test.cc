@@ -188,6 +188,68 @@ TEST(StoreSetTest, GroupsByReceiver) {
   EXPECT_EQ(s.SetGroupsByRecv(kids, x).size(), 0u);
 }
 
+TEST(StoreScalarTest, InvertedValueIndex) {
+  ObjectStore s;
+  Oid color = s.InternSymbol("color");
+  Oid car1 = s.InternSymbol("car1");
+  Oid car2 = s.InternSymbol("car2");
+  Oid bike = s.InternSymbol("bike");
+  Oid red = s.InternSymbol("red");
+  Oid blue = s.InternSymbol("blue");
+  ASSERT_TRUE(s.SetScalar(color, car1, {}, red).ok());
+  ASSERT_TRUE(s.SetScalar(color, bike, {}, blue).ok());
+  ASSERT_TRUE(s.SetScalar(color, car2, {}, red).ok());
+
+  const std::vector<uint32_t>& reds = s.ScalarEntriesByValue(color, red);
+  ASSERT_EQ(reds.size(), 2u);
+  // Buckets keep insertion (generation) order.
+  EXPECT_EQ(s.ScalarEntries(color)[reds[0]].recv, car1);
+  EXPECT_EQ(s.ScalarEntries(color)[reds[1]].recv, car2);
+  EXPECT_EQ(s.ScalarEntriesByValue(color, blue).size(), 1u);
+  EXPECT_EQ(s.ScalarEntriesByValue(color, car1).size(), 0u);
+  EXPECT_EQ(s.ScalarEntriesByValue(red, red).size(), 0u);  // not a method
+  EXPECT_EQ(s.ScalarDistinctValues(color), 2u);
+  EXPECT_EQ(s.ScalarDistinctValues(red), 0u);
+}
+
+TEST(StoreSetTest, InvertedMemberIndex) {
+  ObjectStore s;
+  Oid kids = s.InternSymbol("kids");
+  Oid a = s.InternSymbol("a");
+  Oid b = s.InternSymbol("b");
+  Oid x = s.InternSymbol("x");
+  Oid y = s.InternSymbol("y");
+  s.AddSetMember(kids, a, {}, x);
+  s.AddSetMember(kids, a, {}, y);
+  s.AddSetMember(kids, b, {}, x);
+  s.AddSetMember(kids, b, {}, x);  // duplicate: no new index entry
+
+  const std::vector<SetMemberRef>& xs = s.SetGroupsByMember(kids, x);
+  ASSERT_EQ(xs.size(), 2u);
+  const std::vector<SetGroup>& groups = s.SetGroups(kids);
+  EXPECT_EQ(groups[xs[0].group].recv, a);
+  EXPECT_EQ(groups[xs[0].group].members[xs[0].pos], x);
+  EXPECT_EQ(groups[xs[1].group].recv, b);
+  EXPECT_EQ(groups[xs[1].group].members[xs[1].pos], x);
+  // The addressed membership fact carries its own generation stamp.
+  EXPECT_EQ(groups[xs[0].group].member_gens[xs[0].pos],
+            groups[xs[0].group].MemberGen(x));
+  EXPECT_EQ(s.SetGroupsByMember(kids, y).size(), 1u);
+  EXPECT_EQ(s.SetGroupsByMember(kids, a).size(), 0u);
+  EXPECT_EQ(s.SetDistinctMembers(kids), 2u);
+}
+
+TEST(StoreKindTest, ValidAsChecksKindAndRange) {
+  ObjectStore s;
+  Oid sym = s.InternSymbol("mary");
+  Oid num = s.InternInt(7);
+  EXPECT_TRUE(s.ValidAs(sym, ObjectKind::kSymbol));
+  EXPECT_FALSE(s.ValidAs(sym, ObjectKind::kInt));
+  EXPECT_TRUE(s.ValidAs(num, ObjectKind::kInt));
+  EXPECT_FALSE(s.ValidAs(static_cast<Oid>(999), ObjectKind::kSymbol));
+  EXPECT_EQ(s.IntValue(num), 7);
+}
+
 TEST(StoreMethodListsTest, OnlyMethodsWithFacts) {
   ObjectStore s;
   Oid age = s.InternSymbol("age");
