@@ -1,10 +1,13 @@
 // Experiment Estore: object-store substrate throughput — interning,
-// hierarchy closure maintenance, scalar/set method facts and lookups.
+// hierarchy closure maintenance, scalar/set method facts and lookups,
+// and the durability layer (WAL append and recovery replay).
 
 #include <benchmark/benchmark.h>
 
 #include "base/strings.h"
 #include "bench_util.h"
+#include "store/file_ops.h"
+#include "store/wal.h"
 
 namespace pathlog {
 namespace {
@@ -129,6 +132,96 @@ void BM_Store_SetMemberInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
 }
 BENCHMARK(BM_Store_SetMemberInsert)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/// A store of n objects chained by scalar facts, plus the WAL image
+/// that CommitDurable would write for it (interns then facts).
+struct WalFixture {
+  ObjectStore store;
+  std::string wal;
+
+  explicit WalFixture(int64_t n) {
+    Oid m = store.InternSymbol("m");
+    std::vector<Oid> objs;
+    for (int64_t i = 0; i < n; ++i) {
+      objs.push_back(store.InternSymbol(StrCat("o", i)));
+    }
+    for (size_t i = 0; i + 1 < objs.size(); ++i) {
+      bench::Check(store.SetScalar(m, objs[i], {}, objs[i + 1]), "set");
+    }
+    wal.assign(kWalMagic, kWalMagicLen);
+    for (Oid o = 0; o < store.UniverseSize(); ++o) {
+      AppendWalFrame(&wal, EncodeWalIntern(o, store.kind(o), 0,
+                                           store.DisplayName(o)));
+    }
+    for (uint64_t g = 0; g < store.generation(); ++g) {
+      AppendWalFrame(&wal, EncodeWalFact(g, store.FactAt(g)));
+    }
+  }
+
+  uint64_t records() const {
+    return store.UniverseSize() + store.generation();
+  }
+};
+
+void BM_Store_WalAppend(benchmark::State& state) {
+  // Encode + frame + append one commit's worth of records through the
+  // in-memory file system: the logging path with the disk factored out.
+  WalFixture fx(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    FaultInjectingFileOps fs;
+    auto file = fs.OpenForWrite("/wal", /*truncate=*/true);
+    bench::Check(file.status(), "open");
+    (void)(*file)->Append(std::string_view(kWalMagic, kWalMagicLen));
+    WalAppender appender(std::move(*file));
+    state.ResumeTiming();
+    for (Oid o = 0; o < fx.store.UniverseSize(); ++o) {
+      bench::Check(appender.Append(EncodeWalIntern(
+                       o, fx.store.kind(o), 0, fx.store.DisplayName(o))),
+                   "append");
+    }
+    for (uint64_t g = 0; g < fx.store.generation(); ++g) {
+      bench::Check(appender.Append(EncodeWalFact(g, fx.store.FactAt(g))),
+                   "append");
+    }
+    bench::Check(appender.Sync(), "sync");
+  }
+  state.SetItemsProcessed(state.iterations() * fx.records());
+}
+BENCHMARK(BM_Store_WalAppend)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Store_WalRecovery(benchmark::State& state) {
+  // Scan (CRC every frame) and replay a WAL into an empty store: the
+  // startup cost a durable database pays per un-checkpointed record.
+  WalFixture fx(state.range(0));
+  for (auto _ : state) {
+    ObjectStore recovered;
+    Result<WalScan> scan = ScanWal(fx.wal);
+    bench::Check(scan.status(), "scan");
+    for (const WalRecord& rec : scan->records) {
+      bench::Check(ApplyWalRecordToStore(rec, &recovered), "replay");
+    }
+    benchmark::DoNotOptimize(recovered.generation());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.records());
+}
+BENCHMARK(BM_Store_WalRecovery)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Store_WalScanOnly(benchmark::State& state) {
+  // The pure integrity pass: frame walk + CRC32, no store mutation.
+  WalFixture fx(state.range(0));
+  for (auto _ : state) {
+    Result<WalScan> scan = ScanWal(fx.wal);
+    bench::Check(scan.status(), "scan");
+    benchmark::DoNotOptimize(scan->records.size());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.records());
+  state.SetBytesProcessed(state.iterations() * fx.wal.size());
+}
+BENCHMARK(BM_Store_WalScanOnly)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Store_MembersScan(benchmark::State& state) {

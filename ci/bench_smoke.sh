@@ -17,7 +17,7 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target bench_nested_refs bench_second_dimension
+  --target bench_nested_refs bench_second_dimension bench_store
 
 mkdir -p "${OUT_DIR}"
 
@@ -34,6 +34,13 @@ mkdir -p "${OUT_DIR}"
   --benchmark_filter='BoundTarget|IndexAgreementCheck' \
   --benchmark_min_time=0.05 \
   --benchmark_out="${OUT_DIR}/BENCH_second_dimension.json" \
+  --benchmark_out_format=json
+
+# Durability rows: WAL append throughput and recovery (scan + replay).
+"${BUILD_DIR}/bench/bench_store" \
+  --benchmark_filter='Wal' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out="${OUT_DIR}/BENCH_store.json" \
   --benchmark_out_format=json
 
 echo "ci/bench_smoke.sh: benchmark JSON written to ${OUT_DIR}/"

@@ -21,6 +21,13 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+# The recovery torture tests run as part of ctest above, but they are
+# the one gate crash-safety rests on, so run them again by name: a
+# filter typo or discovery failure must not silently skip them under
+# the sanitizers.
+"${BUILD_DIR}/tests/durability_test" \
+  --gtest_filter='DurabilityTortureTest.*'
+
 # Examples must be lint-clean: exit 1 from pathlog_lint fails the gate.
 "${BUILD_DIR}/tools/pathlog_lint" examples/programs/*.plg
 "${BUILD_DIR}/tools/pathlog_lint" --json examples/programs/*.plg >/dev/null

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "InvalidArgument";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }
@@ -79,6 +81,9 @@ Status InvalidArgument(std::string message) {
 }
 Status ResourceExhausted(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));

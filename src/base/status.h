@@ -40,6 +40,9 @@ enum class StatusCode {
   kInvalidArgument,
   /// Resource limit exceeded (derivation cap, universe cap).
   kResourceExhausted,
+  /// A wall-clock budget (EngineOptions::max_wall_ms) ran out before
+  /// the operation completed.
+  kDeadlineExceeded,
   /// An invariant the library promised was broken; indicates a bug.
   kInternal,
 };
@@ -93,6 +96,7 @@ Status TypeError(std::string message);
 Status NotFound(std::string message);
 Status InvalidArgument(std::string message);
 Status ResourceExhausted(std::string message);
+Status DeadlineExceeded(std::string message);
 Status Internal(std::string message);
 
 /// Propagates a non-OK status to the caller.

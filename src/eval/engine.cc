@@ -201,6 +201,12 @@ Status Engine::CheckLimits() const {
         "object limit exceeded (", options_.max_objects,
         "); the program likely creates virtual objects unboundedly"));
   }
+  if (options_.max_wall_ms > 0 &&
+      std::chrono::steady_clock::now() > deadline_) {
+    return DeadlineExceeded(StrCat(
+        "materialisation exceeded the wall-clock budget (",
+        options_.max_wall_ms, " ms)"));
+  }
   return Status::OK();
 }
 
@@ -321,6 +327,10 @@ Status Engine::RunStratum(const std::vector<size_t>& rule_idxs,
 
 Status Engine::Run() {
   const uint64_t start_facts = store_->generation();
+  if (options_.max_wall_ms > 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(options_.max_wall_ms);
+  }
 
   std::vector<Rule> plain;
   plain.reserve(rules_.size());

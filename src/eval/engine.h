@@ -22,6 +22,7 @@
 #ifndef PATHLOG_EVAL_ENGINE_H_
 #define PATHLOG_EVAL_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <set>
@@ -66,6 +67,13 @@ struct EngineOptions {
   uint64_t max_iterations = 1'000'000;
   uint64_t max_facts = 20'000'000;
   uint64_t max_objects = 20'000'000;
+  /// Wall-clock budget for one Run(), in milliseconds; 0 = unlimited.
+  /// A materialisation that derives slowly (heavy rules over a large
+  /// store) can run away long before it trips the fact or iteration
+  /// caps — the deadline turns it into kDeadlineExceeded instead.
+  /// Checked at the same boundaries as the other limits (after each
+  /// rule evaluation), so very long single enumerations can overshoot.
+  uint64_t max_wall_ms = 0;
 };
 
 /// One head-instance assertion that added facts: the facts with
@@ -139,6 +147,9 @@ class Engine {
 
   ObjectStore* store_;
   EngineOptions options_;
+  /// Deadline for the current Run(); meaningful only when
+  /// options_.max_wall_ms is nonzero.
+  std::chrono::steady_clock::time_point deadline_;
   std::vector<PlannedRule> rules_;
   std::vector<DerivationRecord> provenance_;
   EngineStats stats_;

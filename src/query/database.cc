@@ -1,12 +1,14 @@
 #include "query/database.h"
 
 #include <algorithm>
-#include <fstream>
+#include <cstring>
 #include <iterator>
 #include <set>
 
 #include "ast/analysis.h"
 #include "ast/printer.h"
+#include "base/coding.h"
+#include "base/crc32.h"
 #include "base/strings.h"
 #include "eval/ref_eval.h"
 #include "parser/parser.h"
@@ -16,6 +18,16 @@
 #include "store/snapshot.h"
 
 namespace pathlog {
+
+namespace {
+
+/// Magic of the database-level snapshot file (store snapshot + program
+/// text + signatures + trigger watermark, CRC-protected). Legacy files
+/// (no magic, raw length-prefixed blobs) remain readable.
+constexpr char kDbMagic[] = "PLGDB002";
+constexpr size_t kDbMagicLen = 8;
+
+}  // namespace
 
 Database::Database() : Database(DatabaseOptions{}) {}
 
@@ -87,12 +99,20 @@ Status Database::LoadProgram(const Program& program) {
     PATHLOG_RETURN_IF_ERROR(signatures_.Declare(sig, &store_));
     signature_text_ += ToString(sig);
     signature_text_ += "\n";
+    if (wal_) {
+      pending_program_text_ += ToString(sig);
+      pending_program_text_ += "\n";
+    }
   }
   for (const TriggerRule& trigger : program.triggers) {
     PATHLOG_RETURN_IF_ERROR(CheckTriggerWellFormed(trigger));
     InternNames(*trigger.rule.head);
     for (const Literal& lit : trigger.rule.body) InternNames(*lit.ref);
     triggers_.push_back(trigger);
+    if (wal_) {
+      pending_program_text_ += ToString(trigger);
+      pending_program_text_ += "\n";
+    }
   }
   for (const Rule& rule : program.rules) {
     PATHLOG_RETURN_IF_ERROR(CheckRuleWellFormed(rule));
@@ -104,10 +124,14 @@ Status Database::LoadProgram(const Program& program) {
       PATHLOG_RETURN_IF_ERROR(asserter.Assert(*rule.head, &empty));
     } else {
       rules_.push_back(rule);
+      if (wal_) {
+        pending_program_text_ += ToString(rule);
+        pending_program_text_ += "\n";
+      }
     }
   }
   dirty_ = true;
-  return Status::OK();
+  return FinishMutation(Status::OK());
 }
 
 Status Database::Materialize() {
@@ -136,7 +160,7 @@ Status Database::Materialize() {
                                   : ""));
     }
   }
-  return Status::OK();
+  return FinishMutation(Status::OK());
 }
 
 Result<ResultSet> Database::Query(std::string_view query_text) {
@@ -160,6 +184,9 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
     for (const std::string& v : VarsOf(*lit.ref)) user_vars.insert(v);
   }
   PATHLOG_RETURN_IF_ERROR(PlanConjunction(&body, store_, nullptr));
+  // Queries intern names; recovery replays oids densely, so even
+  // fact-free universe growth must reach the log.
+  PATHLOG_RETURN_IF_ERROR(CommitDurable());
 
   std::vector<std::string> vars(user_vars.begin(), user_vars.end());
   ResultSet result(vars);
@@ -211,6 +238,7 @@ Result<std::string> Database::ExplainQuery(std::string_view query_text) {
   }
   std::vector<std::string> log;
   PATHLOG_RETURN_IF_ERROR(PlanConjunction(&body, store_, &log));
+  PATHLOG_RETURN_IF_ERROR(CommitDurable());
   std::string out = "plan:\n";
   for (size_t i = 0; i < log.size(); ++i) {
     out += StrCat("  ", i + 1, ". ", log[i], "\n");
@@ -226,6 +254,7 @@ Result<std::vector<Oid>> Database::Eval(std::string_view ref_text) {
   if (dirty_) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
+  PATHLOG_RETURN_IF_ERROR(CommitDurable());
   SemanticStructure I(store_);
   RefEvaluator eval(I, options_.engine.use_inverted_indexes);
   Bindings b;
@@ -248,6 +277,7 @@ Result<bool> Database::Holds(std::string_view ref_text) {
   if (dirty_) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
+  PATHLOG_RETURN_IF_ERROR(CommitDurable());
   SemanticStructure I(store_);
   RefEvaluator eval(I, options_.engine.use_inverted_indexes);
   Bindings b;
@@ -292,11 +322,12 @@ Status Database::FireTriggers() {
   trigger_stats_.rounds += engine.stats().rounds;
   trigger_stats_.firings += engine.stats().firings;
   trigger_stats_.facts_added += engine.stats().facts_added;
-  return st;
+  return FinishMutation(st);
 }
 
-Status Database::SaveSnapshotFile(const std::string& path) const {
-  std::string store_bytes = SerializeSnapshot(store_);
+Result<std::string> Database::SaveSnapshotBytes() const {
+  Result<std::string> store_bytes = SerializeSnapshot(store_);
+  if (!store_bytes.ok()) return store_bytes.status();
   std::string program;
   {
     Program prog;
@@ -304,63 +335,62 @@ Status Database::SaveSnapshotFile(const std::string& path) const {
     prog.triggers = triggers_;
     program = ToString(prog);
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return InvalidArgument(StrCat("cannot open ", path, " for writing"));
-  }
-  auto put_u64 = [&out](uint64_t v) {
-    char buf[8];
-    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
-    out.write(buf, 8);
-  };
-  put_u64(store_bytes.size());
-  out.write(store_bytes.data(),
-            static_cast<std::streamsize>(store_bytes.size()));
-  put_u64(program.size());
-  out.write(program.data(), static_cast<std::streamsize>(program.size()));
-  put_u64(signature_text_.size());
-  out.write(signature_text_.data(),
-            static_cast<std::streamsize>(signature_text_.size()));
-  put_u64(trigger_watermark_);
-  if (!out) {
-    return InvalidArgument(StrCat("failed writing snapshot to ", path));
-  }
-  return Status::OK();
+  std::string body;
+  PutU64(&body, store_bytes->size());
+  body.append(*store_bytes);
+  PutU64(&body, program.size());
+  body.append(program);
+  PutU64(&body, signature_text_.size());
+  body.append(signature_text_);
+  PutU64(&body, trigger_watermark_);
+
+  std::string out;
+  out.reserve(kDbMagicLen + 4 + body.size());
+  out.append(kDbMagic, kDbMagicLen);
+  PutU32(&out, Crc32(body));
+  out.append(body);
+  return out;
 }
 
-Result<Database> Database::LoadSnapshotFile(const std::string& path,
-                                            DatabaseOptions options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status(NotFound(StrCat("cannot open snapshot file ", path)));
-  }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  size_t pos = 0;
-  auto get_u64 = [&](uint64_t* v) {
-    if (bytes.size() - pos < 8) return false;
-    *v = 0;
-    for (int i = 0; i < 8; ++i) {
-      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[pos + i]))
-            << (8 * i);
+Status Database::SaveSnapshotFile(const std::string& path) const {
+  Result<std::string> bytes = SaveSnapshotBytes();
+  if (!bytes.ok()) return bytes.status();
+  return WriteFileAtomic(DefaultFileOps(), path, *bytes);
+}
+
+Result<Database> Database::LoadSnapshotBytes(const std::string& bytes,
+                                             DatabaseOptions options,
+                                             const std::string& origin) {
+  std::string_view body(bytes);
+  if (bytes.size() >= kDbMagicLen &&
+      std::memcmp(bytes.data(), kDbMagic, kDbMagicLen) == 0) {
+    ByteReader header(body.substr(kDbMagicLen));
+    const uint32_t crc = header.U32();
+    if (!header.Ok()) {
+      return Status(InvalidArgument(
+          StrCat(origin, ": corrupt database snapshot (truncated header)")));
     }
-    pos += 8;
-    return true;
-  };
-  auto get_blob = [&](std::string* blob) {
-    uint64_t len = 0;
-    if (!get_u64(&len) || bytes.size() - pos < len) return false;
-    blob->assign(bytes, pos, len);
-    pos += len;
-    return true;
+    body = body.substr(kDbMagicLen + 4);
+    if (Crc32(body) != crc) {
+      return Status(InvalidArgument(StrCat(
+          origin, ": corrupt database snapshot (body checksum mismatch)")));
+    }
+  }
+  // Legacy files carry the same body with no magic and no checksum.
+  ByteReader r(body);
+  auto get_blob = [&r](std::string* blob) {
+    uint64_t len = r.U64();
+    if (!r.Ok() || len > r.remaining()) return false;
+    blob->assign(r.Bytes(len));
+    return r.Ok();
   };
   std::string store_bytes, rules_text, sig_text;
-  uint64_t trigger_watermark = 0;
-  if (!get_blob(&store_bytes) || !get_blob(&rules_text) ||
-      !get_blob(&sig_text) || !get_u64(&trigger_watermark) ||
-      pos != bytes.size()) {
+  bool blobs_ok =
+      get_blob(&store_bytes) && get_blob(&rules_text) && get_blob(&sig_text);
+  const uint64_t trigger_watermark = blobs_ok ? r.U64() : 0;
+  if (!blobs_ok || !r.Ok() || r.remaining() != 0) {
     return Status(
-        InvalidArgument(StrCat(path, ": corrupt database snapshot")));
+        InvalidArgument(StrCat(origin, ": corrupt database snapshot")));
   }
 
   Database db(options);
@@ -372,6 +402,224 @@ Result<Database> Database::LoadSnapshotFile(const std::string& path,
   db.trigger_watermark_ =
       std::min(trigger_watermark, db.store_.generation());
   return db;
+}
+
+Result<Database> Database::LoadSnapshotFile(const std::string& path,
+                                            DatabaseOptions options) {
+  Result<std::string> bytes = DefaultFileOps()->ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return LoadSnapshotBytes(*bytes, options, path);
+}
+
+Result<Database> Database::Open(const std::string& dir,
+                                DatabaseOptions options, FileOps* fops) {
+  if (fops == nullptr) fops = DefaultFileOps();
+  PATHLOG_RETURN_IF_ERROR(fops->CreateDir(dir));
+
+  Database db(options);
+  // Members are set after this assignment: the snapshot loader builds a
+  // plain in-memory database and the assignment wipes durability state.
+  const std::string snapshot_path = dir + "/snapshot.plgdb";
+  if (fops->Exists(snapshot_path)) {
+    Result<std::string> bytes = fops->ReadFile(snapshot_path);
+    if (!bytes.ok()) return bytes.status();
+    Result<Database> loaded = LoadSnapshotBytes(*bytes, options, snapshot_path);
+    if (!loaded.ok()) return loaded.status();
+    db = std::move(*loaded);
+  }
+  db.fops_ = fops;
+  db.durable_dir_ = dir;
+
+  // An atomic write interrupted before its rename leaves a temp file;
+  // it was never part of the committed state.
+  if (fops->Exists(snapshot_path + ".tmp")) {
+    (void)fops->Remove(snapshot_path + ".tmp");
+  }
+  if (fops->Exists(db.WalPath() + ".tmp")) {
+    (void)fops->Remove(db.WalPath() + ".tmp");
+  }
+
+  if (fops->Exists(db.WalPath())) {
+    Result<std::string> bytes = fops->ReadFile(db.WalPath());
+    if (!bytes.ok()) return bytes.status();
+    Result<WalScan> scan = ScanWal(*bytes);
+    if (!scan.ok()) return scan.status();
+    for (const WalRecord& rec : scan->records) {
+      switch (rec.type) {
+        case WalRecordType::kIntern:
+        case WalRecordType::kFact:
+          PATHLOG_RETURN_IF_ERROR(ApplyWalRecordToStore(rec, &db.store_));
+          break;
+        case WalRecordType::kProgram:
+          PATHLOG_RETURN_IF_ERROR(db.ReplayProgramText(rec.text));
+          break;
+        case WalRecordType::kTriggerWatermark:
+          db.trigger_watermark_ = rec.watermark;
+          break;
+      }
+    }
+    db.trigger_watermark_ =
+        std::min(db.trigger_watermark_, db.store_.generation());
+    if (scan->valid_bytes < kWalMagicLen) {
+      // Not even the magic survived the crash; recreate the log.
+      PATHLOG_RETURN_IF_ERROR(db.ResetWal());
+    } else {
+      if (scan->torn) {
+        PATHLOG_RETURN_IF_ERROR(
+            fops->Truncate(db.WalPath(), scan->valid_bytes));
+      }
+      Result<std::unique_ptr<FileOps::WritableFile>> file =
+          fops->OpenForWrite(db.WalPath(), /*truncate=*/false);
+      if (!file.ok()) return file.status();
+      db.wal_ = std::make_unique<WalAppender>(std::move(*file));
+    }
+  } else {
+    PATHLOG_RETURN_IF_ERROR(db.ResetWal());
+  }
+
+  db.wal_objects_ = db.store_.UniverseSize();
+  db.wal_facts_ = db.store_.generation();
+  db.wal_trigger_watermark_ = db.trigger_watermark_;
+  db.pending_program_text_.clear();
+  return db;
+}
+
+Status Database::ResetWal() {
+  wal_.reset();
+  PATHLOG_RETURN_IF_ERROR(WriteFileAtomic(
+      fops_, WalPath(), std::string_view(kWalMagic, kWalMagicLen)));
+  Result<std::unique_ptr<FileOps::WritableFile>> file =
+      fops_->OpenForWrite(WalPath(), /*truncate=*/false);
+  if (!file.ok()) return file.status();
+  wal_ = std::make_unique<WalAppender>(std::move(*file));
+  return Status::OK();
+}
+
+Status Database::CommitDurable() {
+  if (!wal_) return Status::OK();
+  if (!wal_error_.ok()) return wal_error_;
+
+  const uint64_t universe = store_.UniverseSize();
+  const uint64_t gen = store_.generation();
+  const bool watermark_moved = trigger_watermark_ != wal_trigger_watermark_;
+  if (universe == wal_objects_ && gen == wal_facts_ &&
+      pending_program_text_.empty() && !watermark_moved) {
+    return Status::OK();
+  }
+
+  auto broken = [this](Status st) {
+    wal_error_ = st;
+    return st;
+  };
+
+  // Interns first so replay never meets a fact or rule referencing an
+  // object it has not seen; facts before the watermark so a recovered
+  // watermark never exceeds the recovered generation.
+  for (Oid o = static_cast<Oid>(wal_objects_); o < universe; ++o) {
+    const ObjectKind kind = store_.kind(o);
+    const int64_t int_value =
+        kind == ObjectKind::kInt ? store_.IntValue(o) : 0;
+    std::string name;
+    if (kind != ObjectKind::kInt) {
+      name = store_.DisplayName(o);
+      if (kind == ObjectKind::kString) {
+        // Strings display quoted; log the raw value.
+        name = name.substr(1, name.size() - 2);
+      }
+    }
+    Status st = wal_->Append(EncodeWalIntern(o, kind, int_value, name));
+    if (!st.ok()) return broken(st);
+    ++wal_records_;
+  }
+  if (!pending_program_text_.empty()) {
+    Status st = wal_->Append(EncodeWalProgram(pending_program_text_));
+    if (!st.ok()) return broken(st);
+    ++wal_records_;
+  }
+  for (uint64_t g = wal_facts_; g < gen; ++g) {
+    Status st = wal_->Append(EncodeWalFact(g, store_.FactAt(g)));
+    if (!st.ok()) return broken(st);
+    ++wal_records_;
+  }
+  if (watermark_moved) {
+    Status st = wal_->Append(EncodeWalTriggerWatermark(trigger_watermark_));
+    if (!st.ok()) return broken(st);
+    ++wal_records_;
+  }
+  if (options_.durability.fsync_policy ==
+      DurabilityOptions::FsyncPolicy::kAlways) {
+    Status st = wal_->Sync();
+    if (!st.ok()) return broken(st);
+  }
+  wal_objects_ = universe;
+  wal_facts_ = gen;
+  wal_trigger_watermark_ = trigger_watermark_;
+  pending_program_text_.clear();
+
+  if (options_.durability.checkpoint_every > 0 &&
+      wal_records_ >= options_.durability.checkpoint_every) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status Database::FinishMutation(Status st) {
+  if (!wal_) return st;
+  Status commit = CommitDurable();
+  // The mutation's own error wins, but the commit still ran: whatever
+  // the store gained before the failure is on disk either way.
+  return st.ok() ? commit : st;
+}
+
+Status Database::Checkpoint() {
+  if (fops_ == nullptr) {
+    return InvalidArgument(
+        "Checkpoint() is only meaningful for a database from "
+        "Database::Open");
+  }
+  Result<std::string> bytes = SaveSnapshotBytes();
+  if (!bytes.ok()) return bytes.status();
+  PATHLOG_RETURN_IF_ERROR(WriteFileAtomic(fops_, SnapshotPath(), *bytes));
+  // A crash between the rename above and the reset below leaves a WAL
+  // overlapping the snapshot; replay is idempotent, so that window is
+  // safe.
+  PATHLOG_RETURN_IF_ERROR(ResetWal());
+  wal_objects_ = store_.UniverseSize();
+  wal_facts_ = store_.generation();
+  wal_trigger_watermark_ = trigger_watermark_;
+  wal_records_ = 0;
+  pending_program_text_.clear();
+  wal_error_ = Status::OK();
+  return Status::OK();
+}
+
+Status Database::ReplayProgramText(const std::string& text) {
+  Result<Program> parsed = ParseProgram(text);
+  if (!parsed.ok()) return parsed.status();
+  // A crash between checkpoint and WAL reset leaves program records
+  // that overlap the snapshot; skip anything already installed.
+  std::set<std::string> have;
+  for (const Rule& rule : rules_) have.insert(ToString(rule));
+  for (const TriggerRule& trigger : triggers_) have.insert(ToString(trigger));
+  if (!signature_text_.empty()) {
+    Result<Program> sigs = ParseProgram(signature_text_);
+    if (sigs.ok()) {
+      for (const SignatureDecl& sig : sigs->signatures) {
+        have.insert(ToString(sig));
+      }
+    }
+  }
+  Program fresh;
+  for (const SignatureDecl& sig : parsed->signatures) {
+    if (have.count(ToString(sig)) == 0) fresh.signatures.push_back(sig);
+  }
+  for (const TriggerRule& trigger : parsed->triggers) {
+    if (have.count(ToString(trigger)) == 0) fresh.triggers.push_back(trigger);
+  }
+  for (const Rule& rule : parsed->rules) {
+    if (have.count(ToString(rule)) == 0) fresh.rules.push_back(rule);
+  }
+  return LoadProgram(fresh);
 }
 
 std::string Database::ExplainFact(uint64_t gen) const {

@@ -23,11 +23,34 @@
 #include "eval/engine.h"
 #include "lint/lint.h"
 #include "query/result_set.h"
+#include "store/file_ops.h"
 #include "store/object_store.h"
+#include "store/wal.h"
 #include "types/signature.h"
 #include "types/type_check.h"
 
 namespace pathlog {
+
+/// Crash-safety policy for a database opened with Database::Open.
+/// Every mutation — loads, materialisations, trigger firings, even the
+/// name interning a query performs — is appended to a write-ahead log
+/// before the call returns; recovery replays the newest valid snapshot
+/// plus the WAL's valid prefix, truncating a torn tail.
+struct DurabilityOptions {
+  enum class FsyncPolicy : uint8_t {
+    /// fsync the WAL at every commit boundary: a returned OK means the
+    /// mutation survives any crash.
+    kAlways,
+    /// Never fsync (the OS flushes when it pleases). Recovery still
+    /// works from whatever prefix reached disk; only the durability
+    /// of the most recent commits is at risk. For bulk loads.
+    kNever,
+  };
+  FsyncPolicy fsync_policy = FsyncPolicy::kAlways;
+  /// Checkpoint (snapshot + WAL reset) automatically once this many
+  /// WAL records have accumulated; 0 = only on explicit Checkpoint().
+  uint64_t checkpoint_every = 0;
+};
 
 struct DatabaseOptions {
   EngineOptions engine;
@@ -41,6 +64,8 @@ struct DatabaseOptions {
   /// Run the linter (errors only) over every program before installing
   /// it; Load/LoadProgram fail with the first lint error's status.
   bool lint_on_load = false;
+  /// Durability policy; consulted only by databases from Open().
+  DurabilityOptions durability;
 };
 
 class Database {
@@ -115,6 +140,26 @@ class Database {
   static Result<Database> LoadSnapshotFile(const std::string& path,
                                            DatabaseOptions options = {});
 
+  /// Opens a crash-safe database rooted at directory `dir` (created if
+  /// absent). Recovery runs first: the newest valid snapshot
+  /// (`dir`/snapshot.plgdb) is loaded, the WAL (`dir`/wal.plgwal) is
+  /// scanned and its valid prefix replayed, and a torn tail — the
+  /// remains of an append interrupted by a crash — is truncated, not
+  /// fatal. Thereafter every mutation is WAL-logged per
+  /// `options.durability` before the mutating call returns. `fops`
+  /// injects a file system (fault injection in tests); nullptr = real.
+  static Result<Database> Open(const std::string& dir,
+                               DatabaseOptions options = {},
+                               FileOps* fops = nullptr);
+
+  /// Writes a full snapshot atomically and resets the WAL. Bounds
+  /// recovery time; also the only way to resume logging after a WAL
+  /// write error. No-op rules: safe to call at any commit boundary.
+  Status Checkpoint();
+
+  /// True when this database was produced by Open() and is logging.
+  bool durable() const { return wal_ != nullptr; }
+
   ObjectStore& store() { return store_; }
   const ObjectStore& store() const { return store_; }
   const SignatureTable& signatures() const { return signatures_; }
@@ -130,6 +175,35 @@ class Database {
   /// can resolve it (queries may mention names no fact ever used).
   void InternNames(const Ref& t);
 
+  /// The whole database as one byte string (outer "PLGDB002" framing:
+  /// store snapshot + rules/trigger text + signature text + trigger
+  /// watermark, checksummed).
+  Result<std::string> SaveSnapshotBytes() const;
+  static Result<Database> LoadSnapshotBytes(const std::string& bytes,
+                                            DatabaseOptions options,
+                                            const std::string& origin);
+
+  /// Appends everything not yet logged — new objects, installed
+  /// program text, new facts, the trigger watermark — to the WAL and
+  /// syncs per policy. No-op for non-durable databases. After a write
+  /// error the WAL is considered broken and every subsequent commit
+  /// fails with that error until Checkpoint() rebuilds the log —
+  /// appending past a torn middle would silently lose the suffix.
+  Status CommitDurable();
+  /// Wraps a mutating entry point: preserves `st`, commits the WAL.
+  Status FinishMutation(Status st);
+  /// Replaces the WAL with a fresh, empty, synced log (atomic).
+  Status ResetWal();
+  /// Loads program text from a WAL record, skipping rules, triggers
+  /// and signatures that are already installed (replay after a crash
+  /// between checkpoint and WAL reset sees both copies).
+  Status ReplayProgramText(const std::string& text);
+
+  std::string WalPath() const { return durable_dir_ + "/wal.plgwal"; }
+  std::string SnapshotPath() const {
+    return durable_dir_ + "/snapshot.plgdb";
+  }
+
   DatabaseOptions options_;
   ObjectStore store_;
   SignatureTable signatures_;
@@ -143,6 +217,19 @@ class Database {
   EngineStats last_stats_;
   bool dirty_ = false;
   uint64_t type_check_watermark_ = 0;
+
+  // Durability state (all inert unless the database came from Open()).
+  FileOps* fops_ = nullptr;
+  std::string durable_dir_;
+  std::unique_ptr<WalAppender> wal_;
+  Status wal_error_;  ///< first WAL write failure; cleared by Checkpoint
+  uint64_t wal_objects_ = 0;  ///< universe prefix already logged
+  uint64_t wal_facts_ = 0;    ///< fact-log prefix already logged
+  uint64_t wal_trigger_watermark_ = 0;  ///< last logged watermark
+  uint64_t wal_records_ = 0;  ///< records since the last checkpoint
+  /// Rules/triggers/signatures installed since the last commit,
+  /// re-rendered as loadable text.
+  std::string pending_program_text_;
 };
 
 }  // namespace pathlog

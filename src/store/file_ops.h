@@ -1,0 +1,145 @@
+// Injectable file-system operations for the durability layer.
+//
+// Everything the WAL and the snapshot writers do to disk goes through
+// a FileOps, so tests can substitute an in-memory implementation that
+// injects faults at any syscall boundary. Two implementations ship:
+//
+//   PosixFileOps           the real thing — open/write/fsync/rename,
+//                          with directory fsync after renames so the
+//                          new name itself is durable;
+//   FaultInjectingFileOps  an in-memory file system that models the
+//                          durable/volatile split: appended bytes live
+//                          in an unsynced tail until Sync() promotes
+//                          them, and a simulated crash drops a suffix
+//                          of every unsynced tail (a "torn write").
+//                          A fault plan fires at the Nth write-side
+//                          operation: fail it, short-write it, or
+//                          crash the process model.
+//
+// The contract WriteSnapshotFile and the WAL rely on:
+//   - Append may persist any prefix of its data on crash;
+//   - data is durable only after a successful Sync;
+//   - Rename is atomic (the target is either the old or the new file,
+//     never a mixture) and durable once it returns.
+
+#ifndef PATHLOG_STORE_FILE_OPS_H_
+#define PATHLOG_STORE_FILE_OPS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace pathlog {
+
+class FileOps {
+ public:
+  /// An open file being written. Close() without Sync() leaves the
+  /// unsynced tail at the mercy of a crash.
+  class WritableFile {
+   public:
+    virtual ~WritableFile() = default;
+    virtual Status Append(std::string_view data) = 0;
+    virtual Status Sync() = 0;
+    virtual Status Close() = 0;
+  };
+
+  virtual ~FileOps() = default;
+
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  /// Opens for writing: truncate=true starts empty, false appends.
+  virtual Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path, bool truncate) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  /// Atomic replace; durable on return (directory synced).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  /// Shrinks the file to `size` bytes (used to drop a torn WAL tail).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  /// Creates the directory (and parents); OK if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+};
+
+/// The process-wide POSIX implementation.
+FileOps* DefaultFileOps();
+
+/// Writes `bytes` to `path` atomically: temp file, fsync, rename.
+/// A crash at any point leaves either the old file or the new one at
+/// `path` — never a partial write. The temp file (`path` + ".tmp") is
+/// removed on failure, best-effort.
+Status WriteFileAtomic(FileOps* ops, const std::string& path,
+                       std::string_view bytes);
+
+/// In-memory file system with fault injection, for tests and benches.
+class FaultInjectingFileOps : public FileOps {
+ public:
+  enum class FaultKind : uint8_t {
+    kNone,
+    /// The chosen operation returns an error; later ops succeed.
+    kFail,
+    /// The chosen Append persists only half its bytes, then errors.
+    kShortWrite,
+    /// The chosen operation does not happen; every later operation
+    /// fails. Unsynced tails are torn down to `keep` bytes each.
+    kCrash,
+  };
+
+  FaultInjectingFileOps() = default;
+
+  /// Arms the fault: the `nth` write-side operation from now (1-based)
+  /// triggers `kind`. Read-side operations are never counted.
+  void ArmFault(FaultKind kind, uint64_t nth);
+
+  /// Write-side operations performed since construction — run a
+  /// workload once un-faulted to learn the boundary count, then rerun
+  /// with ArmFault(kCrash, i) for every i in [1, WriteOpCount()].
+  uint64_t WriteOpCount() const { return op_count_; }
+  bool crashed() const { return crashed_; }
+
+  /// Ends the simulated crash: unsynced tails are torn (each keeps an
+  /// arbitrary prefix — here half, rounded down), open handles are
+  /// invalidated, and the "disk" becomes readable again, as if the
+  /// process restarted.
+  void RecoverAfterCrash();
+
+  // FileOps:
+  Result<std::string> ReadFile(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path, bool truncate) override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectingWritableFile;
+
+  struct FileState {
+    /// Bytes guaranteed to survive a crash.
+    std::string durable;
+    /// Appended but not yet fsynced; a crash tears this tail.
+    std::string unsynced;
+
+    std::string View() const { return durable + unsynced; }
+  };
+
+  /// Counts one write-side op; returns the fault to apply to it (the
+  /// op itself must honour kFail/kShortWrite/kCrash), or kNone.
+  FaultKind TickWriteOp();
+
+  std::map<std::string, FileState> files_;
+  std::map<std::string, bool> dirs_;
+  FaultKind armed_ = FaultKind::kNone;
+  uint64_t fault_at_ = 0;   // op index that triggers, 1-based; 0 = off
+  uint64_t op_count_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_STORE_FILE_OPS_H_

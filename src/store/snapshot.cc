@@ -1,77 +1,22 @@
 #include "store/snapshot.h"
 
 #include <cstring>
-#include <fstream>
 
+#include "base/coding.h"
+#include "base/crc32.h"
 #include "base/strings.h"
 
 namespace pathlog {
 
 namespace {
 
-constexpr char kMagic[] = "PLGSNAP1";
+constexpr char kMagicV1[] = "PLGSNAP1";
+constexpr char kMagicV2[] = "PLGSNAP2";
 constexpr size_t kMagicLen = 8;
 
-void PutU8(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-void PutU16(std::string* out, uint16_t v) {
-  for (int i = 0; i < 2; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  bool Ok() const { return ok_; }
-  size_t remaining() const { return bytes_.size() - pos_; }
-
-  uint8_t U8() { return Fixed<uint8_t>(1); }
-  uint16_t U16() { return Fixed<uint16_t>(2); }
-  uint32_t U32() { return Fixed<uint32_t>(4); }
-  uint64_t U64() { return Fixed<uint64_t>(8); }
-  int64_t I64() { return static_cast<int64_t>(U64()); }
-
-  std::string_view Bytes(size_t n) { return Take(n); }
-
- private:
-  template <typename T>
-  T Fixed(size_t n) {
-    std::string_view s = Take(n);
-    T v = 0;
-    for (size_t i = 0; i < s.size(); ++i) {
-      v |= static_cast<T>(static_cast<uint8_t>(s[i])) << (8 * i);
-    }
-    return v;
-  }
-
-  std::string_view Take(size_t n) {
-    if (!ok_ || bytes_.size() - pos_ < n) {
-      ok_ = false;
-      return std::string_view();
-    }
-    std::string_view s = bytes_.substr(pos_, n);
-    pos_ += n;
-    return s;
-  }
-
-  std::string_view bytes_;
-  size_t pos_ = 0;
-  bool ok_ = true;
-};
-
-}  // namespace
-
-std::string SerializeSnapshot(const ObjectStore& store) {
+/// Serialises the object table + fact log (the shared v1/v2 body).
+Result<std::string> SerializeBody(const ObjectStore& store) {
   std::string out;
-  out.append(kMagic, kMagicLen);
-
   const size_t n = store.UniverseSize();
   PutU64(&out, n);
   for (Oid o = 0; o < n; ++o) {
@@ -94,6 +39,11 @@ std::string SerializeSnapshot(const ObjectStore& store) {
   PutU64(&out, facts);
   for (uint64_t g = 0; g < facts; ++g) {
     const Fact& f = store.FactAt(g);
+    if (f.args.size() > 65535) {
+      return Status(InvalidArgument(StrCat(
+          "cannot snapshot fact ", g, ": ", f.args.size(),
+          " arguments exceed the format's u16 argc limit (65535)")));
+    }
     PutU8(&out, static_cast<uint8_t>(f.kind));
     PutU32(&out, f.method);
     PutU32(&out, f.recv);
@@ -104,12 +54,8 @@ std::string SerializeSnapshot(const ObjectStore& store) {
   return out;
 }
 
-Result<ObjectStore> DeserializeSnapshot(std::string_view bytes) {
-  if (bytes.size() < kMagicLen ||
-      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
-    return Status(InvalidArgument("not a PathLog snapshot (bad magic)"));
-  }
-  Reader r(bytes.substr(kMagicLen));
+Result<ObjectStore> DeserializeBody(std::string_view body) {
+  ByteReader r(body);
 
   ObjectStore store;
   const uint64_t n = r.U64();
@@ -197,27 +143,62 @@ Result<ObjectStore> DeserializeSnapshot(std::string_view bytes) {
   return store;
 }
 
-Status WriteSnapshotFile(const ObjectStore& store, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return InvalidArgument(StrCat("cannot open ", path, " for writing"));
-  }
-  std::string bytes = SerializeSnapshot(store);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) {
-    return InvalidArgument(StrCat("failed writing snapshot to ", path));
-  }
-  return Status::OK();
+}  // namespace
+
+Result<std::string> SerializeSnapshot(const ObjectStore& store) {
+  Result<std::string> body = SerializeBody(store);
+  if (!body.ok()) return body.status();
+  std::string out;
+  out.reserve(kMagicLen + 12 + body->size());
+  out.append(kMagicV2, kMagicLen);
+  PutU32(&out, Crc32(*body));
+  PutU64(&out, body->size());
+  out.append(*body);
+  return out;
 }
 
-Result<ObjectStore> ReadSnapshotFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status(NotFound(StrCat("cannot open snapshot file ", path)));
+Result<ObjectStore> DeserializeSnapshot(std::string_view bytes) {
+  if (bytes.size() >= kMagicLen &&
+      std::memcmp(bytes.data(), kMagicV1, kMagicLen) == 0) {
+    // Legacy v1: bare body, no checksum.
+    return DeserializeBody(bytes.substr(kMagicLen));
   }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  return DeserializeSnapshot(bytes);
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagicV2, kMagicLen) != 0) {
+    return Status(InvalidArgument("not a PathLog snapshot (bad magic)"));
+  }
+  ByteReader header(bytes.substr(kMagicLen));
+  const uint32_t crc = header.U32();
+  const uint64_t body_len = header.U64();
+  if (!header.Ok()) {
+    return Status(InvalidArgument("snapshot corrupt: truncated header"));
+  }
+  std::string_view body = bytes.substr(kMagicLen + 12);
+  if (body.size() != body_len) {
+    return Status(InvalidArgument(StrCat(
+        "snapshot corrupt: body is ", body.size(), " bytes, header says ",
+        body_len)));
+  }
+  if (Crc32(body) != crc) {
+    return Status(InvalidArgument(
+        "snapshot corrupt: body checksum mismatch"));
+  }
+  return DeserializeBody(body);
+}
+
+Status WriteSnapshotFile(const ObjectStore& store, const std::string& path,
+                         FileOps* ops) {
+  if (ops == nullptr) ops = DefaultFileOps();
+  Result<std::string> bytes = SerializeSnapshot(store);
+  if (!bytes.ok()) return bytes.status();
+  return WriteFileAtomic(ops, path, *bytes);
+}
+
+Result<ObjectStore> ReadSnapshotFile(const std::string& path, FileOps* ops) {
+  if (ops == nullptr) ops = DefaultFileOps();
+  Result<std::string> bytes = ops->ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return DeserializeSnapshot(*bytes);
 }
 
 }  // namespace pathlog

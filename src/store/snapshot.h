@@ -7,13 +7,20 @@
 // replays the log, so oids, display names, generations and all derived
 // indexes are reproduced exactly.
 //
-// Format (little-endian, fixed-width):
-//   magic "PLGSNAP1"
-//   u64 object_count
-//     per object: u8 kind; kInt: i64 value; else: u32 len + bytes
-//   u64 fact_count
-//     per fact: u8 kind, u32 method, u32 recv,
-//               u16 argc, u32 args[argc], u32 value
+// Format v2 (little-endian, fixed-width):
+//   magic "PLGSNAP2"
+//   u32 crc32(body)
+//   u64 body_len
+//   body:
+//     u64 object_count
+//       per object: u8 kind; kInt: i64 value; else: u32 len + bytes
+//     u64 fact_count
+//       per fact: u8 kind, u32 method, u32 recv,
+//                 u16 argc, u32 args[argc], u32 value
+//
+// v1 ("PLGSNAP1") is the same body with no checksum; it remains
+// readable but is no longer written. A flipped bit anywhere in a v2
+// body fails the CRC before any content reaches the store.
 
 #ifndef PATHLOG_STORE_SNAPSHOT_H_
 #define PATHLOG_STORE_SNAPSHOT_H_
@@ -22,20 +29,29 @@
 #include <string_view>
 
 #include "base/result.h"
+#include "store/file_ops.h"
 #include "store/object_store.h"
 
 namespace pathlog {
 
-/// Serialises the store into a byte string.
-std::string SerializeSnapshot(const ObjectStore& store);
+/// Serialises the store into a (v2, checksummed) byte string.
+/// kInvalidArgument if any fact has more than 65535 arguments — the
+/// wire format's u16 argc cannot represent it, and silently truncating
+/// would corrupt the snapshot.
+Result<std::string> SerializeSnapshot(const ObjectStore& store);
 
-/// Reconstructs a store from SerializeSnapshot output. The result is
-/// bit-for-bit equivalent: same oids, names, facts and generations.
+/// Reconstructs a store from SerializeSnapshot output (v2) or a legacy
+/// v1 image. The result is bit-for-bit equivalent: same oids, names,
+/// facts and generations.
 Result<ObjectStore> DeserializeSnapshot(std::string_view bytes);
 
-/// File convenience wrappers.
-Status WriteSnapshotFile(const ObjectStore& store, const std::string& path);
-Result<ObjectStore> ReadSnapshotFile(const std::string& path);
+/// File convenience wrappers. Writing is atomic (temp + fsync +
+/// rename): a crash never leaves a partial file visible at `path`.
+/// `ops` defaults to the real file system; tests inject faults.
+Status WriteSnapshotFile(const ObjectStore& store, const std::string& path,
+                         FileOps* ops = nullptr);
+Result<ObjectStore> ReadSnapshotFile(const std::string& path,
+                                     FileOps* ops = nullptr);
 
 }  // namespace pathlog
 

@@ -319,6 +319,35 @@ TEST(EngineTest, RunawayVirtualCreationHitsGuard) {
   EXPECT_EQ(engine.Run().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(EngineTest, WallClockBudgetTripsAsDeadlineExceeded) {
+  // The same never-terminating program, but with the count guards out
+  // of reach: only the wall-clock budget can stop it. Any finite
+  // budget is eventually exceeded, so this is deterministic.
+  ObjectStore store;
+  store.InternSymbol(kSelfMethodName);
+  EngineOptions opts;
+  opts.max_wall_ms = 50;
+  Engine engine(&store, opts);
+  ASSERT_TRUE(LoadFactsAndRules(&store, &engine, R"(
+    z[count->1].
+    X.succ[count->1] <- X[count->1].
+  )").ok());
+  EXPECT_EQ(engine.Run().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(EngineTest, WallClockBudgetOffByDefault) {
+  // max_wall_ms = 0 must mean "no deadline", not "deadline now".
+  ObjectStore store;
+  store.InternSymbol(kSelfMethodName);
+  Engine engine(&store);
+  ASSERT_TRUE(LoadFactsAndRules(&store, &engine, R"(
+    a[kids->>{b}]. b[kids->>{c}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+    X[desc->>{Z}] <- X[kids->>{Y}], Y[desc->>{Z}].
+  )").ok());
+  EXPECT_TRUE(engine.Run().ok());
+}
+
 TEST(EngineTest, ScalarConflictFromRulesReported) {
   ObjectStore store;
   store.InternSymbol(kSelfMethodName);

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
+#include <string>
 
 #include "ast/printer.h"
 #include "parser/parser.h"
 #include "query/database.h"
+#include "store/file_ops.h"
 
 namespace pathlog {
 namespace {
@@ -94,6 +97,112 @@ TEST_P(FuzzTest, MutatedValidProgramNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Values(11, 22, 33, 44));
+
+// --- Durable-file corruption sweep ------------------------------------
+
+void OverwriteFile(FaultInjectingFileOps* fs, const std::string& path,
+                   std::string_view bytes) {
+  Result<std::unique_ptr<FileOps::WritableFile>> f =
+      fs->OpenForWrite(path, /*truncate=*/true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append(bytes).ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+}
+
+/// Builds a durable database with both a snapshot and a non-empty WAL,
+/// and returns their byte images.
+void BuildDurableImages(FaultInjectingFileOps* fs, std::string* snapshot,
+                        std::string* wal) {
+  Result<Database> db = Database::Open("/db", {}, fs);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE(db->Load(R"(
+    emp[salary => integer].
+    mary : emp[salary->50; kids->>{ann, bob}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+  )").ok());
+  ASSERT_TRUE(db->Materialize().ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+  ASSERT_TRUE(db->Load("john : emp[salary->60].").ok());
+  Result<std::string> snap_bytes = fs->ReadFile("/db/snapshot.plgdb");
+  ASSERT_TRUE(snap_bytes.ok());
+  *snapshot = *snap_bytes;
+  Result<std::string> wal_bytes = fs->ReadFile("/db/wal.plgwal");
+  ASSERT_TRUE(wal_bytes.ok());
+  *wal = *wal_bytes;
+  ASSERT_GT(wal->size(), 8u) << "WAL should hold the post-checkpoint load";
+}
+
+TEST(DurableCorruptionSweepTest, SnapshotByteFlipAtEveryOffset) {
+  FaultInjectingFileOps fs;
+  std::string snapshot, wal;
+  BuildDurableImages(&fs, &snapshot, &wal);
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    std::string bad = snapshot;
+    bad[i] ^= 0x20;
+    OverwriteFile(&fs, "/db/snapshot.plgdb", bad);
+    // Open must return a typed error or a working database (a flip
+    // the checksum happens not to see, e.g. in padding-free equal
+    // bytes, cannot occur: CRC32 catches all single-byte flips) —
+    // never crash or hang.
+    Result<Database> db = Database::Open("/db", {}, &fs);
+    EXPECT_FALSE(db.ok()) << "flip at " << i << " went unnoticed";
+    if (!db.ok()) {
+      EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument) << i;
+    }
+  }
+}
+
+TEST(DurableCorruptionSweepTest, SnapshotTruncationAtEveryLength) {
+  FaultInjectingFileOps fs;
+  std::string snapshot, wal;
+  BuildDurableImages(&fs, &snapshot, &wal);
+  for (size_t cut = 0; cut < snapshot.size(); ++cut) {
+    OverwriteFile(&fs, "/db/snapshot.plgdb", snapshot.substr(0, cut));
+    Result<Database> db = Database::Open("/db", {}, &fs);
+    EXPECT_FALSE(db.ok()) << "truncation to " << cut << " loaded";
+  }
+}
+
+TEST(DurableCorruptionSweepTest, WalByteFlipAtEveryOffset) {
+  FaultInjectingFileOps fs;
+  std::string snapshot, wal;
+  BuildDurableImages(&fs, &snapshot, &wal);
+  for (size_t i = 0; i < wal.size(); ++i) {
+    std::string bad = wal;
+    bad[i] ^= 0x20;
+    OverwriteFile(&fs, "/db/snapshot.plgdb", snapshot);
+    OverwriteFile(&fs, "/db/wal.plgwal", bad);
+    // A flip in the magic is kInvalidArgument; a flip inside a frame
+    // is caught by that frame's CRC and handled as a torn tail, so
+    // Open succeeds with the prefix. Either way: no crash, and any
+    // database that opens still answers queries.
+    Result<Database> db = Database::Open("/db", {}, &fs);
+    if (db.ok()) {
+      Result<bool> h = db->Holds("mary[desc->>{ann}]");
+      ASSERT_TRUE(h.ok()) << i;
+      EXPECT_TRUE(*h) << i;  // snapshot contents are never at risk
+    } else {
+      EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument) << i;
+    }
+  }
+}
+
+TEST(DurableCorruptionSweepTest, WalTruncationAtEveryLength) {
+  FaultInjectingFileOps fs;
+  std::string snapshot, wal;
+  BuildDurableImages(&fs, &snapshot, &wal);
+  for (size_t cut = 0; cut < wal.size(); ++cut) {
+    OverwriteFile(&fs, "/db/snapshot.plgdb", snapshot);
+    OverwriteFile(&fs, "/db/wal.plgwal", wal.substr(0, cut));
+    // Every truncation is a legal torn tail: recovery must succeed
+    // and keep at least the snapshot's contents.
+    Result<Database> db = Database::Open("/db", {}, &fs);
+    ASSERT_TRUE(db.ok()) << "cut=" << cut << ": " << db.status();
+    Result<bool> h = db->Holds("mary[desc->>{ann}]");
+    ASSERT_TRUE(h.ok()) << cut;
+    EXPECT_TRUE(*h) << cut;
+  }
+}
 
 }  // namespace
 }  // namespace pathlog

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -14,8 +16,11 @@ namespace {
 
 std::string RunShell(const std::string& input,
                      const std::string& args = "") {
-  const std::string script_path =
-      ::testing::TempDir() + "/shell_input.txt";
+  // ctest runs each test of this binary as its own process, in
+  // parallel; the script path must be per-process or one test's
+  // cleanup deletes another's input mid-read.
+  const std::string script_path = ::testing::TempDir() + "/shell_input." +
+                                  std::to_string(::getpid()) + ".txt";
   {
     std::ofstream out(script_path);
     out << input;
@@ -100,6 +105,57 @@ TEST(ShellTest, SaveAndRestoreRoundTrip) {
   EXPECT_NE(out2.find("restored"), std::string::npos);
   EXPECT_NE(out2.find("cs1"), std::string::npos);
   std::remove(snap.c_str());
+}
+
+TEST(ShellTest, DurableSessionSurvivesRestart) {
+  const std::string dir = ::testing::TempDir() + "/shell_durable";
+  // Session one: assert facts and a rule. No \save — durability comes
+  // from the WAL written before each "ok.".
+  std::string out = RunShell(
+      "p1 : employee[worksFor->cs1].\n"
+      "X.boss[worksFor->D] <- X:employee[worksFor->D].\n"
+      "?- p1.boss[worksFor->W].\n"
+      "\\quit\n",
+      "--durable " + dir);
+  EXPECT_NE(out.find("durable session at"), std::string::npos);
+  EXPECT_NE(out.find("cs1"), std::string::npos);
+
+  // Session two: everything is back, and \checkpoint compacts.
+  std::string out2 = RunShell(
+      "?- p1.boss[worksFor->W].\n"
+      "p2 : employee[worksFor->ee1].\n"
+      "\\checkpoint\n"
+      "\\quit\n",
+      "--durable " + dir);
+  EXPECT_NE(out2.find("rules recovered"), std::string::npos);
+  EXPECT_NE(out2.find("cs1"), std::string::npos);
+  EXPECT_NE(out2.find("checkpointed."), std::string::npos);
+
+  // Session three: the checkpointed snapshot + fresh WAL recover too.
+  std::string out3 = RunShell(
+      "?- p2.boss[worksFor->W].\n"
+      "\\quit\n",
+      "--durable " + dir);
+  EXPECT_NE(out3.find("ee1"), std::string::npos);
+
+  std::remove((dir + "/snapshot.plgdb").c_str());
+  std::remove((dir + "/wal.plgwal").c_str());
+  std::remove(dir.c_str());
+}
+
+TEST(ShellTest, DurableFlagRequiresADirectory) {
+  std::string cmd = std::string(PATHLOG_SHELL_PATH) +
+                    " --durable </dev/null 2>&1";
+  std::array<char, 4096> buffer;
+  std::string output;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  int rc = pclose(pipe);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(output.find("--durable requires"), std::string::npos);
 }
 
 TEST(ShellTest, LoadsProgramFileFromArgv) {

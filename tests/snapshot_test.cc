@@ -10,12 +10,21 @@
 #include <set>
 #include <string>
 
+#include "base/coding.h"
+#include "base/crc32.h"
 #include "query/database.h"
 #include "store/fact.h"
+#include "store/file_ops.h"
 #include "workload/company.h"
 
 namespace pathlog {
 namespace {
+
+std::string MustSerialize(const ObjectStore& store) {
+  Result<std::string> bytes = SerializeSnapshot(store);
+  EXPECT_TRUE(bytes.ok()) << bytes.status();
+  return bytes.ok() ? *bytes : std::string();
+}
 
 void ExpectStoresEqual(const ObjectStore& a, const ObjectStore& b) {
   ASSERT_EQ(a.UniverseSize(), b.UniverseSize());
@@ -31,7 +40,7 @@ void ExpectStoresEqual(const ObjectStore& a, const ObjectStore& b) {
 
 TEST(SnapshotTest, EmptyStore) {
   ObjectStore store;
-  Result<ObjectStore> copy = DeserializeSnapshot(SerializeSnapshot(store));
+  Result<ObjectStore> copy = DeserializeSnapshot(MustSerialize(store));
   ASSERT_TRUE(copy.ok()) << copy.status();
   ExpectStoresEqual(store, *copy);
 }
@@ -45,7 +54,7 @@ TEST(SnapshotTest, AllValueKindsRoundTrip) {
   Oid m = store.InternSymbol("m");
   ASSERT_TRUE(store.SetScalar(m, sym, {neg, str}, anon).ok());
 
-  Result<ObjectStore> copy = DeserializeSnapshot(SerializeSnapshot(store));
+  Result<ObjectStore> copy = DeserializeSnapshot(MustSerialize(store));
   ASSERT_TRUE(copy.ok()) << copy.status();
   ExpectStoresEqual(store, *copy);
   EXPECT_EQ(copy->IntValue(neg), -42);
@@ -59,7 +68,7 @@ TEST(SnapshotTest, GeneratedWorkloadRoundTrips) {
   cfg.num_employees = 150;
   CompanyData data = GenerateCompany(&store, cfg);
 
-  Result<ObjectStore> copy = DeserializeSnapshot(SerializeSnapshot(store));
+  Result<ObjectStore> copy = DeserializeSnapshot(MustSerialize(store));
   ASSERT_TRUE(copy.ok()) << copy.status();
   ExpectStoresEqual(store, *copy);
   // Derived indexes are rebuilt identically.
@@ -81,7 +90,7 @@ TEST(SnapshotTest, MaterializedVirtualObjectsSurvive) {
   ASSERT_TRUE(db.Materialize().ok());
 
   Result<ObjectStore> copy =
-      DeserializeSnapshot(SerializeSnapshot(db.store()));
+      DeserializeSnapshot(MustSerialize(db.store()));
   ASSERT_TRUE(copy.ok()) << copy.status();
   ExpectStoresEqual(db.store(), *copy);
 
@@ -109,7 +118,7 @@ TEST(SnapshotTest, FileRoundTrip) {
 TEST(SnapshotTest, CorruptionDetected) {
   ObjectStore store;
   store.InternSymbol("a");
-  std::string bytes = SerializeSnapshot(store);
+  std::string bytes = MustSerialize(store);
 
   // Bad magic.
   std::string bad = bytes;
@@ -183,7 +192,7 @@ TEST(SnapshotTest, RoundTripPreservesGenerationStamps) {
   cfg.num_employees = 60;
   GenerateCompany(&store, cfg);
 
-  Result<ObjectStore> copy = DeserializeSnapshot(SerializeSnapshot(store));
+  Result<ObjectStore> copy = DeserializeSnapshot(MustSerialize(store));
   ASSERT_TRUE(copy.ok()) << copy.status();
   for (Oid m : store.ScalarMethods()) {
     const std::vector<ScalarEntry>& a = store.ScalarEntries(m);
@@ -218,7 +227,7 @@ TEST(SnapshotTest, RoundTripRebuildsInvertedIndexes) {
   CompanyConfig cfg;
   cfg.num_employees = 60;
   GenerateCompany(&store, cfg);
-  Result<ObjectStore> copy = DeserializeSnapshot(SerializeSnapshot(store));
+  Result<ObjectStore> copy = DeserializeSnapshot(MustSerialize(store));
   ASSERT_TRUE(copy.ok()) << copy.status();
 
   for (Oid m : copy->ScalarMethods()) {
@@ -332,14 +341,116 @@ TEST(SnapshotTest, FactWithOutOfRangeOidRejected) {
   Oid b = store.InternSymbol("b");
   Oid m = store.InternSymbol("m");
   store.AddSetMember(m, a, {}, b);
-  std::string bytes = SerializeSnapshot(store);
+  std::string bytes = MustSerialize(store);
   // The last four bytes are the value oid of the final (set-member)
   // fact; point it far outside the object table.
   for (size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
     bytes[i] = '\xEE';
   }
+  // Re-stamp the v2 checksum so the oid validation itself is reached
+  // (an unpatched CRC would reject the file one layer earlier).
+  const uint32_t crc = Crc32(std::string_view(bytes).substr(20));
+  std::string patched;
+  PutU32(&patched, crc);
+  bytes.replace(8, 4, patched);
   Result<ObjectStore> r = DeserializeSnapshot(bytes);
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("oid"), std::string::npos);
+}
+
+TEST(SnapshotTest, ChecksumMismatchDetected) {
+  ObjectStore store;
+  CompanyConfig cfg;
+  cfg.num_employees = 10;
+  GenerateCompany(&store, cfg);
+  std::string bytes = MustSerialize(store);
+  bytes[bytes.size() / 2] ^= 0x01;
+  Result<ObjectStore> r = DeserializeSnapshot(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("checksum"), std::string::npos);
+}
+
+TEST(SnapshotTest, LegacyV1SnapshotStillLoads) {
+  ObjectStore store;
+  CompanyConfig cfg;
+  cfg.num_employees = 25;
+  GenerateCompany(&store, cfg);
+  // v1 was the bare body behind a "PLGSNAP1" magic — no checksum, no
+  // length. The v2 body is bit-identical, so a v1 image is
+  // reconstructible from it.
+  std::string v2 = MustSerialize(store);
+  std::string v1 = "PLGSNAP1" + v2.substr(8 + 12);
+  Result<ObjectStore> copy = DeserializeSnapshot(v1);
+  ASSERT_TRUE(copy.ok()) << copy.status();
+  ExpectStoresEqual(store, *copy);
+}
+
+TEST(SnapshotTest, ArgcOverflowIsTypedErrorNotTruncation) {
+  // 65536 arguments cannot be represented in the u16 argc field; the
+  // old serializer silently wrote argc mod 65536 and produced a file
+  // that replayed to a *different* database.
+  ObjectStore store;
+  Oid a = store.InternSymbol("a");
+  Oid m = store.InternSymbol("m");
+  std::vector<Oid> args(65536, a);
+  store.AddSetMember(m, a, args, a);
+  Result<std::string> bytes = SerializeSnapshot(store);
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bytes.status().ToString().find("65535"), std::string::npos);
+}
+
+TEST(SnapshotTest, AtomicWriteNeverExposesAPartialFile) {
+  ObjectStore store;
+  CompanyConfig cfg;
+  cfg.num_employees = 20;
+  GenerateCompany(&store, cfg);
+
+  ObjectStore old_store;
+  old_store.InternSymbol("previous");
+  const std::string old_bytes = MustSerialize(old_store);
+  const std::string new_bytes = MustSerialize(store);
+  const std::string path = "/db/snapshot.plgdb";
+
+  // Crash at every write-side syscall of the snapshot write: the
+  // visible file must be the complete old image or the complete new
+  // one, never a prefix and never the temp file.
+  FaultInjectingFileOps probe;
+  ASSERT_TRUE(probe.CreateDir("/db").ok());
+  ASSERT_TRUE(WriteFileAtomic(&probe, path, old_bytes).ok());
+  const uint64_t before = probe.WriteOpCount();
+  ASSERT_TRUE(WriteFileAtomic(&probe, path, new_bytes).ok());
+  const uint64_t ops_per_write = probe.WriteOpCount() - before;
+  ASSERT_GT(ops_per_write, 0u);
+
+  for (uint64_t nth = 1; nth <= ops_per_write; ++nth) {
+    FaultInjectingFileOps fs;
+    ASSERT_TRUE(fs.CreateDir("/db").ok());
+    ASSERT_TRUE(WriteFileAtomic(&fs, path, old_bytes).ok());
+    fs.ArmFault(FaultInjectingFileOps::FaultKind::kCrash, nth);
+    Status st = WriteSnapshotFile(store, path, &fs);
+    if (fs.crashed()) {
+      EXPECT_FALSE(st.ok()) << nth;
+      fs.RecoverAfterCrash();
+    }
+    Result<std::string> after = fs.ReadFile(path);
+    ASSERT_TRUE(after.ok()) << nth;
+    EXPECT_TRUE(*after == old_bytes || *after == new_bytes) << nth;
+    Result<ObjectStore> replayed = DeserializeSnapshot(*after);
+    EXPECT_TRUE(replayed.ok()) << nth << ": " << replayed.status();
+  }
+
+  // Fail-fast (non-crash) faults must clean up the temp file.
+  FaultInjectingFileOps fs;
+  ASSERT_TRUE(fs.CreateDir("/db").ok());
+  ASSERT_TRUE(WriteFileAtomic(&fs, path, old_bytes).ok());
+  fs.ArmFault(FaultInjectingFileOps::FaultKind::kFail, 2);
+  EXPECT_FALSE(WriteSnapshotFile(store, path, &fs).ok());
+  EXPECT_FALSE(fs.Exists(path + ".tmp"));
+  Result<std::string> after = fs.ReadFile(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, old_bytes);
 }
 
 TEST(SnapshotTest, SnapshotOfSnapshotIsIdentical) {
@@ -347,10 +458,10 @@ TEST(SnapshotTest, SnapshotOfSnapshotIsIdentical) {
   CompanyConfig cfg;
   cfg.num_employees = 40;
   GenerateCompany(&store, cfg);
-  std::string once = SerializeSnapshot(store);
+  std::string once = MustSerialize(store);
   Result<ObjectStore> copy = DeserializeSnapshot(once);
   ASSERT_TRUE(copy.ok());
-  EXPECT_EQ(SerializeSnapshot(*copy), once);
+  EXPECT_EQ(MustSerialize(*copy), once);
 }
 
 }  // namespace

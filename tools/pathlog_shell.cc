@@ -1,17 +1,23 @@
 // pathlog: an interactive PathLog shell.
 //
-//   $ ./pathlog [file.plg ...]
+//   $ ./pathlog [--durable <dir>] [file.plg ...]
 //
 // Loads the given program files, then reads clauses and queries from
 // stdin. Input is buffered until a clause-terminating '.' (so clauses
 // may span lines). Lines starting with '\' are shell commands — see
 // \help.
+//
+// With --durable, the session is crash-safe: state recovers from
+// <dir> on startup and every accepted clause is written ahead to
+// <dir>/wal.plgwal before "ok." is printed.
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "pathlog/pathlog.h"
 #include "store/fact.h"
@@ -30,12 +36,14 @@ constexpr const char* kHelp = R"(PathLog shell commands:
   \dump <file>      write all facts as a loadable program
   \save <file>      save a binary snapshot (facts, rules, signatures)
   \restore <file>   replace the session with a saved snapshot
+  \checkpoint       durable sessions: snapshot now and reset the WAL
   \quit             exit
 )";
 
 class Shell {
  public:
   Shell() : db_(MakeOptions()) {}
+  explicit Shell(pathlog::Database db) : db_(std::move(db)) {}
 
   static pathlog::DatabaseOptions MakeOptions() {
     pathlog::DatabaseOptions opts;
@@ -202,6 +210,9 @@ class Shell {
                  report.warnings());
         }
       }
+    } else if (cmd == "\\checkpoint") {
+      pathlog::Status st = db_.Checkpoint();
+      printf("%s\n", st.ok() ? "checkpointed." : st.ToString().c_str());
     } else if (cmd == "\\quit" || cmd == "\\q") {
       done_ = true;
     } else {
@@ -250,9 +261,36 @@ class Shell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Shell shell;
+  std::string durable_dir;
+  std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
-    if (!shell.LoadFile(argv[i])) return 1;
+    std::string arg = argv[i];
+    if (arg == "--durable") {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "--durable requires a directory argument\n");
+        return 1;
+      }
+      durable_dir = argv[++i];
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+
+  Shell shell;
+  if (!durable_dir.empty()) {
+    pathlog::Result<pathlog::Database> db =
+        pathlog::Database::Open(durable_dir, Shell::MakeOptions());
+    if (!db.ok()) {
+      fprintf(stderr, "%s: %s\n", durable_dir.c_str(),
+              db.status().ToString().c_str());
+      return 1;
+    }
+    printf("durable session at %s (%zu facts, %zu rules recovered)\n",
+           durable_dir.c_str(), db->store().FactCount(), db->num_rules());
+    shell = Shell(std::move(*db));
+  }
+  for (const std::string& path : files) {
+    if (!shell.LoadFile(path)) return 1;
   }
   return shell.Run();
 }
