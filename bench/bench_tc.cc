@@ -131,6 +131,38 @@ void BM_Tc_Generic_Tree(benchmark::State& state) {
 BENCHMARK(BM_Tc_Generic_Tree)->Arg(200)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+// Observability overhead twins: the same workload with the metrics
+// registry attached vs detached. ci/bench_smoke.sh gates on the
+// ratio — the disabled path must stay within 5% of the enabled one
+// (instrumentation is per-run, not per-tuple, so the true overhead
+// is far below that; the gate catches obs accidentally moving into
+// the hot loop).
+void RunTcObs(benchmark::State& state, bool obs_enabled) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    DatabaseOptions opts;
+    opts.engine.strategy = EvalStrategy::kSemiNaiveRules;
+    Database db(opts);
+    if (obs_enabled) {
+      ObsSinks sinks;
+      sinks.metrics = &bench::BenchMetrics();
+      db.SetObsSinks(sinks);
+    }
+    BuildGraph(&db.store(), Shape::kTree, state.range(0));
+    bench::Check(db.Load(kDescRules), "load rules");
+    state.ResumeTiming();
+    bench::Check(db.Materialize(), "materialize");
+    benchmark::DoNotOptimize(db.engine_stats().derivations);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Tc_Tree_ObsOff(benchmark::State& state) { RunTcObs(state, false); }
+BENCHMARK(BM_Tc_Tree_ObsOff)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Tree_ObsOn(benchmark::State& state) { RunTcObs(state, true); }
+BENCHMARK(BM_Tc_Tree_ObsOn)->Arg(1000)->Unit(benchmark::kMillisecond);
+
 // Querying the closure after materialisation: the paper's answer
 // lookup `peter..(kids.tc)` as a point query.
 void BM_Tc_ClosureLookup(benchmark::State& state) {

@@ -16,8 +16,10 @@
 
 #include "baseline/conjunctive.h"
 #include "baseline/translate.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "query/database.h"
+#include "store/file_ops.h"
 #include "workload/company.h"
 
 namespace pathlog {
@@ -39,6 +41,34 @@ inline T CheckResult(Result<T> r, const char* what) {
     std::abort();
   }
   return std::move(r).value();
+}
+
+/// Writes the process-wide bench metrics registry as JSON to the path
+/// in $PATHLOG_METRICS_OUT, if set. Registered atexit by
+/// BenchMetrics() so a metrics JSON lands next to the BENCH_*.json
+/// whenever ci/bench_smoke.sh asks for one.
+inline void WriteBenchMetricsAtExit();
+
+/// Process-wide metrics registry for benchmarks that measure the
+/// observability-enabled path (the *_ObsOn twins). One registry per
+/// binary: counters accumulate across all benchmark runs, which is
+/// exactly what the exported JSON should show.
+inline MetricsRegistry& BenchMetrics() {
+  static MetricsRegistry* registry = [] {
+    static MetricsRegistry r;
+    std::atexit(WriteBenchMetricsAtExit);
+    return &r;
+  }();
+  return *registry;
+}
+
+inline void WriteBenchMetricsAtExit() {
+  const char* path = std::getenv("PATHLOG_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return;
+  Status st = WriteFileAtomic(DefaultFileOps(), path, BenchMetrics().ToJson());
+  if (!st.ok()) {
+    fprintf(stderr, "PATHLOG_METRICS_OUT: %s\n", st.ToString().c_str());
+  }
 }
 
 /// A database with inverted-index evaluation toggled explicitly —

@@ -17,7 +17,7 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target bench_nested_refs bench_second_dimension bench_store
+  --target bench_nested_refs bench_second_dimension bench_store bench_tc
 
 mkdir -p "${OUT_DIR}"
 
@@ -42,5 +42,50 @@ mkdir -p "${OUT_DIR}"
   --benchmark_min_time=0.05 \
   --benchmark_out="${OUT_DIR}/BENCH_store.json" \
   --benchmark_out_format=json
+
+# Observability overhead gate: the ObsOn/ObsOff twins run the same
+# materialisation with the metrics registry attached vs detached. The
+# instrumentation is per-run (never per-tuple), so the two must agree
+# to within 5% on medians — a larger gap means obs crept into the hot
+# loop (or is accidentally always on). The enabled run also exports
+# its metrics registry as JSON next to the benchmark JSON.
+PATHLOG_METRICS_OUT="${OUT_DIR}/METRICS_tc.json" \
+  "${BUILD_DIR}/bench/bench_tc" \
+  --benchmark_filter='ObsOn|ObsOff' \
+  --benchmark_min_time=0.05 \
+  --benchmark_repetitions=5 \
+  --benchmark_out="${OUT_DIR}/BENCH_tc.json" \
+  --benchmark_out_format=json
+
+python3 -m json.tool "${OUT_DIR}/METRICS_tc.json" >/dev/null
+
+python3 - "${OUT_DIR}/BENCH_tc.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# Compare best-of-repetitions CPU time: the two twins run identical
+# code apart from the metrics branch, so their best cases must agree;
+# min-of-N sheds scheduler and cold-start noise that medians keep.
+def best(suffix):
+    times = [b["cpu_time"] for b in data["benchmarks"]
+             if b.get("run_type") == "iteration" and suffix in b["name"]]
+    if not times:
+        sys.exit(f"obs gate: no repetitions for {suffix} in {sys.argv[1]}")
+    return min(times)
+
+off = best("ObsOff")
+on = best("ObsOn")
+ratio = on / off if off > 0 else float("inf")
+print(f"obs gate: ObsOff best {off:.3f}, ObsOn best {on:.3f}, "
+      f"on/off ratio {ratio:.3f}")
+if off > on * 1.05:
+    sys.exit("obs gate FAILED: the obs-disabled path is >5% slower than "
+             "the enabled path — observability is not actually off")
+if on > off * 1.05:
+    sys.exit("obs gate FAILED: enabling metrics costs >5% — "
+             "instrumentation has crept into the evaluation hot loop")
+EOF
 
 echo "ci/bench_smoke.sh: benchmark JSON written to ${OUT_DIR}/"

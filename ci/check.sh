@@ -32,4 +32,21 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 "${BUILD_DIR}/tools/pathlog_lint" examples/programs/*.plg
 "${BUILD_DIR}/tools/pathlog_lint" --json examples/programs/*.plg >/dev/null
 
+# Observability smoke: a traced shell session (load, materialise,
+# query) must emit valid chrome://tracing JSON and valid metrics JSON.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "${OBS_TMP}"' EXIT
+printf '%s\n' \
+  'a[kids->>{b}].' \
+  'b[kids->>{c}].' \
+  'X[desc->>{Y}] <- X[kids->>{Y}].' \
+  'X[desc->>{Y}] <- X..desc[kids->>{Y}].' \
+  '?- a[desc->>{D}].' \
+  '\quit' | \
+  "${BUILD_DIR}/tools/pathlog" \
+    --trace-out="${OBS_TMP}/trace.json" \
+    --metrics-out="${OBS_TMP}/metrics.json" >/dev/null
+python3 -m json.tool "${OBS_TMP}/trace.json" >/dev/null
+python3 -m json.tool "${OBS_TMP}/metrics.json" >/dev/null
+
 echo "ci/check.sh: all checks passed"

@@ -8,6 +8,8 @@
 #include "eval/bindings.h"
 #include "eval/engine.h"
 #include "eval/ref_eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "semantics/structure.h"
 
 namespace pathlog {
@@ -111,27 +113,47 @@ Status TriggerEngine::RunRound(uint64_t from, HeadAsserter* asserter) {
 }
 
 Status TriggerEngine::Fire() {
+  TraceSpan fire_span(options_.obs.tracer, "triggers.fire", "triggers");
+  const TriggerStats before = stats_;
   const uint64_t start_facts = store_->generation();
-  HeadAsserter asserter(store_, options_.head_value_mode);
-  for (;;) {
-    const uint64_t from = watermark_;
-    const uint64_t end = store_->generation();
-    if (from == end) break;  // quiescent
-    if (++stats_.rounds > options_.max_cascade_rounds) {
-      return ResourceExhausted(StrCat("trigger cascade exceeded ",
-                                      options_.max_cascade_rounds,
-                                      " rounds"));
+  Status st = [&]() -> Status {
+    HeadAsserter asserter(store_, options_.head_value_mode);
+    for (;;) {
+      const uint64_t from = watermark_;
+      const uint64_t end = store_->generation();
+      if (from == end) break;  // quiescent
+      if (++stats_.rounds > options_.max_cascade_rounds) {
+        return ResourceExhausted(StrCat("trigger cascade exceeded ",
+                                        options_.max_cascade_rounds,
+                                        " rounds"));
+      }
+      watermark_ = end;
+      TraceSpan round_span(options_.obs.tracer, "triggers.round", "triggers",
+                           StrCat("{\"from\":", from, "}"));
+      PATHLOG_RETURN_IF_ERROR(RunRound(from, &asserter));
+      if (store_->FactCount() > options_.max_facts) {
+        return ResourceExhausted(
+            StrCat("trigger actions exceeded the fact budget (",
+                   options_.max_facts, ")"));
+      }
     }
-    watermark_ = end;
-    PATHLOG_RETURN_IF_ERROR(RunRound(from, &asserter));
-    if (store_->FactCount() > options_.max_facts) {
-      return ResourceExhausted(
-          StrCat("trigger actions exceeded the fact budget (",
-                 options_.max_facts, ")"));
-    }
-  }
+    return Status::OK();
+  }();
   stats_.facts_added += store_->generation() - start_facts;
-  return Status::OK();
+  if (MetricsRegistry* m = options_.obs.metrics; m != nullptr) {
+    auto bump = [&](const char* name, const char* help, uint64_t now_v,
+                    uint64_t before_v) {
+      Counter* c = m->GetCounter(name, help);
+      if (c != nullptr && now_v > before_v) c->Inc(now_v - before_v);
+    };
+    bump("pathlog_trigger_rounds_total", "trigger cascade rounds",
+         stats_.rounds, before.rounds);
+    bump("pathlog_trigger_firings_total", "trigger firings", stats_.firings,
+         before.firings);
+    bump("pathlog_trigger_facts_total", "facts asserted by triggers",
+         stats_.facts_added, before.facts_added);
+  }
+  return st;
 }
 
 }  // namespace pathlog

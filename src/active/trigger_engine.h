@@ -29,6 +29,7 @@
 #include "ast/program.h"
 #include "base/result.h"
 #include "eval/head_assert.h"
+#include "obs/obs.h"
 #include "store/object_store.h"
 
 namespace pathlog {
@@ -39,6 +40,8 @@ struct TriggerOptions {
   /// exceeding the budget aborts with kResourceExhausted.
   uint64_t max_cascade_rounds = 10'000;
   uint64_t max_facts = 20'000'000;
+  /// Observability sinks (all null by default; borrowed).
+  ObsSinks obs;
 };
 
 struct TriggerStats {

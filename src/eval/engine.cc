@@ -6,6 +6,9 @@
 #include "ast/printer.h"
 #include "base/strings.h"
 #include "eval/ref_eval.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "semantics/structure.h"
 
 namespace pathlog {
@@ -190,22 +193,34 @@ bool Engine::HeadReadsChanged(const PlannedRule& pr,
   return false;
 }
 
-Status Engine::CheckLimits() const {
+Status Engine::CheckLimits() {
+  // Where evaluation currently stands, for limit diagnostics: without
+  // it, a tripped deadline on a large program gives no hint which rule
+  // was running away.
+  auto record_context = [&]() -> std::string {
+    stats_.limit_stratum = current_stratum_;
+    stats_.limit_rule =
+        current_rule_ != nullptr ? ToString(current_rule_->rule) : "";
+    if (stats_.limit_rule.empty()) return "";
+    return StrCat(" in stratum ", stats_.limit_stratum,
+                  " while evaluating rule `", stats_.limit_rule, "`");
+  };
   if (store_->FactCount() > options_.max_facts) {
     return ResourceExhausted(StrCat(
-        "fact limit exceeded (", options_.max_facts,
-        "); the program likely creates virtual objects unboundedly"));
+        "fact limit exceeded (", options_.max_facts, ")", record_context(),
+        "; the program likely creates virtual objects unboundedly"));
   }
   if (store_->UniverseSize() > options_.max_objects) {
     return ResourceExhausted(StrCat(
-        "object limit exceeded (", options_.max_objects,
-        "); the program likely creates virtual objects unboundedly"));
+        "object limit exceeded (", options_.max_objects, ")",
+        record_context(),
+        "; the program likely creates virtual objects unboundedly"));
   }
   if (options_.max_wall_ms > 0 &&
       std::chrono::steady_clock::now() > deadline_) {
     return DeadlineExceeded(StrCat(
         "materialisation exceeded the wall-clock budget (",
-        options_.max_wall_ms, " ms)"));
+        options_.max_wall_ms, " ms)", record_context()));
   }
   return Status::OK();
 }
@@ -214,6 +229,25 @@ Status Engine::EvaluateRule(PlannedRule* pr, HeadAsserter* asserter,
                             std::optional<uint64_t> delta_from) {
   SemanticStructure I(*store_);
   RefEvaluator eval(I, options_.use_inverted_indexes);
+  Status st = EvaluateRuleBody(pr, asserter, delta_from, &eval);
+  // Flush the evaluator's route counters on every path (including
+  // errors — a tripped deadline still wants its profile).
+  stats_.duplicates_suppressed += eval.duplicates_suppressed();
+  if (options_.obs.profiler != nullptr) {
+    Profiler::RouteTotals routes;
+    routes.inverted_probes = eval.inverted_probes();
+    routes.extent_scans = eval.extent_scans();
+    routes.universe_scans = eval.universe_scans();
+    routes.duplicates_suppressed = eval.duplicates_suppressed();
+    options_.obs.profiler->RecordRoutes(routes);
+  }
+  return st;
+}
+
+Status Engine::EvaluateRuleBody(PlannedRule* pr, HeadAsserter* asserter,
+                                std::optional<uint64_t> delta_from,
+                                RefEvaluator* eval_ptr) {
+  RefEvaluator& eval = *eval_ptr;
   Bindings b;
 
   // Body enumeration must not mutate the store (iterator stability), so
@@ -272,6 +306,8 @@ Status Engine::EvaluateRule(PlannedRule* pr, HeadAsserter* asserter,
       if (body[p].negated) continue;  // monotone store: no new matches
       delta_idx = p;
       ++stats_.delta_passes;
+      TraceSpan delta_span(options_.obs.tracer, "delta_pass", "engine",
+                           StrCat("{\"literal\":", p, "}"));
       Result<bool> r = go(0);
       if (!r.ok()) return r.status();
     }
@@ -291,16 +327,25 @@ Status Engine::EvaluateRule(PlannedRule* pr, HeadAsserter* asserter,
   return CheckLimits();
 }
 
-Status Engine::RunStratum(const std::vector<size_t>& rule_idxs,
+Status Engine::RunStratum(int stratum, const std::vector<size_t>& rule_idxs,
                           const std::vector<RuleDeps>& deps) {
+  TraceSpan stratum_span(options_.obs.tracer, "stratum", "engine",
+                         StrCat("{\"stratum\":", stratum, "}"));
+  current_stratum_ = stratum;
   HeadAsserter asserter(store_, options_.head_value_mode);
   bool first = true;
   for (;;) {
     ++stats_.iterations;
+    ++stats_.stratum_iterations[static_cast<size_t>(stratum)];
     if (stats_.iterations > options_.max_iterations) {
       return ResourceExhausted(
           StrCat("iteration limit exceeded (", options_.max_iterations, ")"));
     }
+    TraceSpan iter_span(
+        options_.obs.tracer, "iteration", "engine",
+        StrCat("{\"n\":", stats_.stratum_iterations[static_cast<size_t>(
+                              stratum)],
+               "}"));
     const uint64_t start_gen = store_->generation();
     for (size_t idx : rule_idxs) {
       PlannedRule& pr = rules_[idx];
@@ -315,7 +360,30 @@ Status Engine::RunStratum(const std::vector<size_t>& rule_idxs,
       }
       pr.last_eval_gen = store_->generation();
       ++stats_.rule_evaluations;
-      PATHLOG_RETURN_IF_ERROR(EvaluateRule(&pr, &asserter, delta_from));
+      current_rule_ = &pr;
+      Profiler* profiler = options_.obs.profiler;
+      const uint64_t delta_passes_before = stats_.delta_passes;
+      const uint64_t derivations_before = stats_.derivations;
+      std::chrono::steady_clock::time_point rule_t0;
+      if (profiler != nullptr) rule_t0 = std::chrono::steady_clock::now();
+      Status rule_status;
+      {
+        TraceSpan rule_span(options_.obs.tracer, "rule.evaluate", "engine",
+                            StrCat("{\"rule\":", idx, "}"));
+        rule_status = EvaluateRule(&pr, &asserter, delta_from);
+      }
+      if (profiler != nullptr) {
+        const uint64_t wall_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - rule_t0)
+                .count());
+        profiler->RecordRuleEvaluation(
+            ToString(pr.rule), wall_ns,
+            stats_.delta_passes - delta_passes_before,
+            stats_.derivations - derivations_before);
+      }
+      current_rule_ = nullptr;
+      PATHLOG_RETURN_IF_ERROR(rule_status);
     }
     ScanNewFacts();
     first = false;
@@ -326,6 +394,54 @@ Status Engine::RunStratum(const std::vector<size_t>& rule_idxs,
 }
 
 Status Engine::Run() {
+  TraceSpan run_span(options_.obs.tracer, "engine.run", "engine");
+  const EngineStats before = stats_;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status st = RunImpl();
+  const double run_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  // Recorded even when RunImpl fails: a kDeadlineExceeded run with no
+  // elapsed time would be undiagnosable.
+  stats_.elapsed_ms += run_ms;
+  PublishMetrics(before, run_ms);
+  return st;
+}
+
+void Engine::PublishMetrics(const EngineStats& before, double run_ms) {
+  MetricsRegistry* m = options_.obs.metrics;
+  if (m == nullptr) return;
+  auto bump = [&](const char* name, const char* help, uint64_t now_v,
+                  uint64_t before_v) {
+    Counter* c = m->GetCounter(name, help);
+    if (c != nullptr && now_v > before_v) c->Inc(now_v - before_v);
+  };
+  Counter* runs = m->GetCounter("pathlog_engine_runs_total",
+                                "materialisation runs started");
+  if (runs != nullptr) runs->Inc();
+  bump("pathlog_engine_iterations_total", "fixpoint rounds",
+       stats_.iterations, before.iterations);
+  bump("pathlog_engine_rule_evaluations_total", "rule body evaluations",
+       stats_.rule_evaluations, before.rule_evaluations);
+  bump("pathlog_engine_delta_passes_total",
+       "delta-restricted literal passes", stats_.delta_passes,
+       before.delta_passes);
+  bump("pathlog_engine_derivations_total", "head instances asserted",
+       stats_.derivations, before.derivations);
+  bump("pathlog_engine_facts_added_total", "store growth from Run()",
+       stats_.facts_added, before.facts_added);
+  bump("pathlog_engine_skolems_total", "virtual objects created",
+       stats_.skolems_created, before.skolems_created);
+  bump("pathlog_engine_duplicates_suppressed_total",
+       "duplicate path emissions suppressed", stats_.duplicates_suppressed,
+       before.duplicates_suppressed);
+  Histogram* h =
+      m->GetHistogram("pathlog_engine_run_ms", DefaultLatencyBoundsMs(),
+                      "Run() wall time in milliseconds");
+  if (h != nullptr) h->Observe(run_ms);
+}
+
+Status Engine::RunImpl() {
   const uint64_t start_facts = store_->generation();
   if (options_.max_wall_ms > 0) {
     deadline_ = std::chrono::steady_clock::now() +
@@ -335,12 +451,16 @@ Status Engine::Run() {
   std::vector<Rule> plain;
   plain.reserve(rules_.size());
   for (const PlannedRule& pr : rules_) plain.push_back(pr.rule);
-  PATHLOG_ASSIGN_OR_RETURN(
-      DependencyGraph graph,
-      DependencyGraph::Build(plain, store_, options_.head_value_mode));
+  Result<DependencyGraph> graph_result = [&] {
+    TraceSpan span(options_.obs.tracer, "engine.stratify", "engine");
+    return DependencyGraph::Build(plain, store_, options_.head_value_mode);
+  }();
+  PATHLOG_ASSIGN_OR_RETURN(DependencyGraph graph, std::move(graph_result));
   PATHLOG_ASSIGN_OR_RETURN(Stratification strata,
                            Stratify(graph, rules_.size()));
   stats_.num_strata = strata.num_strata;
+  stats_.stratum_iterations.assign(
+      static_cast<size_t>(strata.num_strata), 0);
 
   // Account for facts loaded before Run() in the change tracker.
   ScanNewFacts();
@@ -351,7 +471,7 @@ Status Engine::Run() {
       if (strata.rule_stratum[r] == s) idxs.push_back(r);
     }
     if (idxs.empty()) continue;
-    PATHLOG_RETURN_IF_ERROR(RunStratum(idxs, graph.rule_deps()));
+    PATHLOG_RETURN_IF_ERROR(RunStratum(s, idxs, graph.rule_deps()));
   }
   stats_.facts_added += store_->generation() - start_facts;
   return Status::OK();

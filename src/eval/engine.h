@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "ast/program.h"
@@ -33,9 +34,12 @@
 #include "eval/dependency.h"
 #include "eval/head_assert.h"
 #include "eval/stratify.h"
+#include "obs/obs.h"
 #include "store/object_store.h"
 
 namespace pathlog {
+
+class RefEvaluator;
 
 enum class EvalStrategy : uint8_t {
   /// Every rule re-evaluated every iteration (textbook oracle).
@@ -74,6 +78,10 @@ struct EngineOptions {
   /// Checked at the same boundaries as the other limits (after each
   /// rule evaluation), so very long single enumerations can overshoot.
   uint64_t max_wall_ms = 0;
+  /// Observability sinks (all null by default — disabled cost is one
+  /// branch per instrumentation site). Borrowed; the caller keeps them
+  /// alive for the engine's lifetime.
+  ObsSinks obs;
 };
 
 /// One head-instance assertion that added facts: the facts with
@@ -93,7 +101,21 @@ struct EngineStats {
   uint64_t derivations = 0;       ///< head instances asserted
   uint64_t facts_added = 0;       ///< store growth caused by Run()
   uint64_t skolems_created = 0;   ///< virtual objects defined
+  /// Duplicate path emissions suppressed at the emit boundary,
+  /// summed over every rule evaluation.
+  uint64_t duplicates_suppressed = 0;
+  /// Wall-clock time spent in Run(), cumulative across calls.
+  /// Recorded on error returns too (kDeadlineExceeded diagnosis).
+  double elapsed_ms = 0;
+  /// Fixpoint rounds per stratum, indexed by stratum number (strata
+  /// with no rules stay 0). Filled by Run().
+  std::vector<uint64_t> stratum_iterations;
   int num_strata = 1;
+  /// Where a kDeadlineExceeded (or other limit) error tripped:
+  /// stratum number and the printed rule under evaluation. -1/empty
+  /// when no limit tripped.
+  int limit_stratum = -1;
+  std::string limit_rule;
 };
 
 class Engine {
@@ -133,17 +155,28 @@ class Engine {
   };
 
   Status PlanBody(Rule* rule) const;
-  Status RunStratum(const std::vector<size_t>& rule_idxs,
+  /// Run() minus the timing/metrics wrapper.
+  Status RunImpl();
+  Status RunStratum(int stratum, const std::vector<size_t>& rule_idxs,
                     const std::vector<RuleDeps>& deps);
   /// Evaluates a rule body and asserts the head for every solution.
   /// With `delta_from` set, runs one delta-restricted pass per positive
   /// body literal instead of one full evaluation.
   Status EvaluateRule(PlannedRule* pr, HeadAsserter* asserter,
                       std::optional<uint64_t> delta_from);
+  /// EvaluateRule minus the route-counter flush wrapper.
+  Status EvaluateRuleBody(PlannedRule* pr, HeadAsserter* asserter,
+                          std::optional<uint64_t> delta_from,
+                          RefEvaluator* eval);
   bool RuleAffected(const PlannedRule& pr, const RuleDeps& deps) const;
   bool HeadReadsChanged(const PlannedRule& pr, const RuleDeps& deps) const;
   void ScanNewFacts();
-  Status CheckLimits() const;
+  /// Non-const: a tripped limit records its context (stratum, rule)
+  /// into stats_ for diagnosability.
+  Status CheckLimits();
+  /// Bumps the pathlog_engine_* metrics by the growth of stats_ since
+  /// `before` (no-op without a registry).
+  void PublishMetrics(const EngineStats& before, double run_ms);
 
   ObjectStore* store_;
   EngineOptions options_;
@@ -153,6 +186,10 @@ class Engine {
   std::vector<PlannedRule> rules_;
   std::vector<DerivationRecord> provenance_;
   EngineStats stats_;
+  /// Evaluation context for limit/deadline diagnostics: what RunStratum
+  /// is currently working on. current_rule_ points into rules_.
+  int current_stratum_ = -1;
+  const PlannedRule* current_rule_ = nullptr;
 
   // Change tracking: generation of the most recent fact per method /
   // hierarchy, maintained by ScanNewFacts.

@@ -58,6 +58,7 @@ Result<bool> RefEvaluator::Enumerate(const Ref& t, Bindings* b,
       // Fallback: a variable with no driving context ranges over the
       // whole universe (active domain). The molecule/path evaluators
       // avoid this with index-driven enumeration.
+      ++universe_scans_;
       const size_t n = I_.store().UniverseSize();
       for (Oid o = 0; o < n; ++o) {
         size_t mark = b->Mark();
@@ -169,6 +170,7 @@ Result<bool> RefEvaluator::MatchPath(const Ref& t, Oid target, Bindings* b,
           // Stored scalar facts: walk value→receiver backwards. Every
           // fact with this value is one candidate derivation; the base
           // pattern and argument patterns prune the rest.
+          ++inverted_probes_;
           const std::vector<uint32_t>& idxs =
               I_.store().ScalarEntriesByValue(um, target);
           const std::vector<ScalarEntry>& entries = I_.store().ScalarEntries(um);
@@ -185,6 +187,7 @@ Result<bool> RefEvaluator::MatchPath(const Ref& t, Oid target, Bindings* b,
           return true;
         }
         // Set-valued: walk member→receiver backwards.
+        ++inverted_probes_;
         const std::vector<SetMemberRef>& refs =
             I_.store().SetGroupsByMember(um, target);
         const std::vector<SetGroup>& groups = I_.store().SetGroups(um);
@@ -331,6 +334,7 @@ Result<bool> RefEvaluator::EnumScalarInvocations(
   const Ref& d = Deref(base);
   if (d.kind == RefKind::kVar && !b->IsBound(d.text)) {
     // Drive from the method's extent: bind the receiver variable.
+    ++extent_scans_;
     for (const ScalarEntry& e : I_.store().ScalarEntries(um)) {
       if (e.args.size() != args.size()) continue;
       size_t mark = b->Mark();
@@ -378,6 +382,7 @@ Result<bool> RefEvaluator::EnumSetInvocations(
   };
   const Ref& d = Deref(base);
   if (d.kind == RefKind::kVar && !b->IsBound(d.text)) {
+    ++extent_scans_;
     for (const SetGroup& g : I_.store().SetGroups(um)) {
       if (g.args.size() != args.size()) continue;
       size_t mark = b->Mark();
@@ -494,10 +499,12 @@ Result<bool> RefEvaluator::EnumMolecule(const Ref& t, Bindings* b,
 
   switch (drive) {
     case Drive::kClassExtent:
+      ++extent_scans_;
       candidates = store.Members(drive_m);
       driven = true;
       break;
     case Drive::kScalarValue: {
+      ++inverted_probes_;
       std::unordered_set<Oid> seen;
       const std::vector<ScalarEntry>& entries = store.ScalarEntries(drive_m);
       for (uint32_t i : store.ScalarEntriesByValue(drive_m, drive_v)) {
@@ -509,6 +516,7 @@ Result<bool> RefEvaluator::EnumMolecule(const Ref& t, Bindings* b,
       break;
     }
     case Drive::kSetMember: {
+      ++inverted_probes_;
       std::unordered_set<Oid> seen;
       const std::vector<SetGroup>& groups = store.SetGroups(drive_m);
       for (const SetMemberRef& mr : store.SetGroupsByMember(drive_m, drive_v)) {
@@ -520,6 +528,7 @@ Result<bool> RefEvaluator::EnumMolecule(const Ref& t, Bindings* b,
       break;
     }
     case Drive::kScalarRecvs: {
+      ++extent_scans_;
       std::unordered_set<Oid> seen;
       for (const ScalarEntry& e : store.ScalarEntries(drive_m)) {
         if (seen.insert(e.recv).second) candidates.push_back(e.recv);
@@ -528,6 +537,7 @@ Result<bool> RefEvaluator::EnumMolecule(const Ref& t, Bindings* b,
       break;
     }
     case Drive::kSetRecvs: {
+      ++extent_scans_;
       std::unordered_set<Oid> seen;
       for (const SetGroup& g : store.SetGroups(drive_m)) {
         if (seen.insert(g.recv).second) candidates.push_back(g.recv);
@@ -555,6 +565,7 @@ Result<bool> RefEvaluator::EnumMolecule(const Ref& t, Bindings* b,
     }
   }
   if (!driven) {
+    ++universe_scans_;
     candidates.resize(I_.store().UniverseSize());
     for (Oid o = 0; o < candidates.size(); ++o) candidates[o] = o;
   }

@@ -67,6 +67,17 @@ class RefEvaluator {
   /// different derivations) were suppressed at the emit boundary.
   uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
 
+  // Index-route counters: how matching and molecule driving reached
+  // the store. Always-on cheap member increments (like emit_count_);
+  // callers flush them into the profiler by differencing.
+
+  /// Probes of the inverted value→receiver / member→receiver indexes.
+  uint64_t inverted_probes() const { return inverted_probes_; }
+  /// Scans of a method extent or class extent.
+  uint64_t extent_scans() const { return extent_scans_; }
+  /// Whole-universe scans (undriven variables or molecules).
+  uint64_t universe_scans() const { return universe_scans_; }
+
   // --- Delta-restricted mode (literal-level semi-naive) --------------
   //
   // While active, every fact consumption site compares the fact's
@@ -171,6 +182,9 @@ class RefEvaluator {
   bool use_inverted_ = true;
   uint64_t emit_count_ = 0;
   uint64_t duplicates_suppressed_ = 0;
+  uint64_t inverted_probes_ = 0;
+  uint64_t extent_scans_ = 0;
+  uint64_t universe_scans_ = 0;
   bool delta_active_ = false;
   uint64_t delta_from_ = 0;
   int delta_count_ = 0;

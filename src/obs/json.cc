@@ -1,0 +1,261 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    PATHLOG_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status(Error("trailing characters after JSON document"));
+    }
+    return v;
+  }
+
+ private:
+  Status Error(std::string_view what) const {
+    return InvalidArgument(
+        StrCat("json parse error at offset ", pos_, ": ", what));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Status(Error("nesting too deep"));
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Status(Error("unexpected end of input"));
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        PATHLOG_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        if (ConsumeWord("true")) return JsonValue(true);
+        return Status(Error("invalid literal"));
+      case 'f':
+        if (ConsumeWord("false")) return JsonValue(false);
+        return Status(Error("invalid literal"));
+      case 'n':
+        if (ConsumeWord("null")) return JsonValue();
+        return Status(Error("invalid literal"));
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status(Error("expected object key string"));
+      }
+      PATHLOG_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Status(Error("expected ':' after key"));
+      PATHLOG_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      obj.Set(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Status(Error("expected ',' or '}' in object"));
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    for (;;) {
+      PATHLOG_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      arr.Append(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Status(Error("expected ',' or ']' in array"));
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status(Error("raw control character in string"));
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status(Error("truncated \\u escape"));
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status(Error("invalid \\u escape"));
+          }
+          // The writers only escape control characters; decode BMP
+          // code points as UTF-8 and leave surrogate pairs unpaired
+          // (observability payloads never contain them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status(Error("invalid escape character"));
+      }
+    }
+    return Status(Error("unterminated string"));
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status(Error("expected a value"));
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) {
+      return Status(Error("malformed number"));
+    }
+    return JsonValue(v);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; clamp to null-ish zero rather than emit an
+    // unparsable token (histogram +Inf bounds are rendered as labels,
+    // never as values).
+    out->append("0");
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    out->append(std::to_string(static_cast<int64_t>(v)));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace pathlog

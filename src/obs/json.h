@@ -1,0 +1,96 @@
+// A minimal JSON reader/writer for the observability layer.
+//
+// The exporters (metrics JSON, Chrome trace-event files) must produce
+// output that external consumers parse, so the tests — and the CI
+// trace gate — need to parse it back and check structure. Rather than
+// pull a dependency into the build, this is a small self-contained
+// JSON value type with a strict recursive-descent parser. It is not a
+// general-purpose library: numbers are doubles, objects preserve
+// insertion order, and inputs beyond a sane nesting depth are
+// rejected (observability files are machine-written and shallow).
+
+#ifndef PATHLOG_OBS_JSON_H_
+#define PATHLOG_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+
+namespace pathlog {
+
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in input/insertion order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). kInvalidArgument on malformed input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Appends the JSON string-literal form of `s` (quotes included,
+/// control characters and quotes escaped) to `out`.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Appends a JSON number: integers render without exponent or
+/// fraction, everything else with enough digits to round-trip.
+void AppendJsonNumber(std::string* out, double v);
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_OBS_JSON_H_

@@ -1,0 +1,36 @@
+// ObsSinks: the observability layer's plumbing type.
+//
+// A bundle of three optional, borrowed sinks — metrics registry,
+// tracer, profiler — threaded through EngineOptions, TriggerOptions,
+// and DatabaseOptions into every subsystem. All null by default: the
+// disabled cost at an instrumentation site is one pointer test. The
+// caller owns the sink objects and keeps them alive for as long as
+// any component holds the ObsSinks (the shell and benches own them
+// for the session; tests own them on the stack).
+//
+// This header is deliberately tiny (forward declarations only) so the
+// option structs that embed ObsSinks do not drag the exporters into
+// every translation unit.
+
+#ifndef PATHLOG_OBS_OBS_H_
+#define PATHLOG_OBS_OBS_H_
+
+namespace pathlog {
+
+class MetricsRegistry;
+class Tracer;
+class Profiler;
+
+struct ObsSinks {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  Profiler* profiler = nullptr;
+
+  bool enabled() const {
+    return metrics != nullptr || tracer != nullptr || profiler != nullptr;
+  }
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_OBS_OBS_H_

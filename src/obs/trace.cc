@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace pathlog {
+
+void Tracer::Begin(std::string_view name, std::string_view category,
+                   std::string_view args_json) {
+  const uint64_t ts = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{'B', std::string(name), std::string(category),
+                               ts, std::string(args_json)});
+  open_.push_back(std::string(name));
+}
+
+void Tracer::End() {
+  const uint64_t ts = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_.empty()) return;  // unmatched E: drop rather than corrupt
+  events_.push_back(TraceEvent{'E', open_.back(), "pathlog", ts, ""});
+  open_.pop_back();
+}
+
+void Tracer::Instant(std::string_view name, std::string_view category,
+                     std::string_view args_json) {
+  const uint64_t ts = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{'i', std::string(name), std::string(category),
+                               ts, std::string(args_json)});
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int Tracer::open_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(open_.size());
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto append = [&](const TraceEvent& e) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, e.name);
+    out += ",\"cat\":";
+    AppendJsonString(&out, e.category);
+    out += ",\"ph\":";
+    AppendJsonString(&out, std::string_view(&e.phase, 1));
+    out += ",\"ts\":";
+    AppendJsonNumber(&out, static_cast<double>(e.ts_us));
+    out += ",\"pid\":1,\"tid\":1";
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (!e.args_json.empty()) {
+      out += ",\"args\":";
+      out += e.args_json;
+    }
+    out += "}";
+  };
+  for (const TraceEvent& e : events_) append(e);
+  // Close any spans still open (e.g. a trace dumped mid-run) so the
+  // file stays balanced and loadable.
+  const uint64_t now = NowUs();
+  for (size_t i = open_.size(); i > 0; --i) {
+    append(TraceEvent{'E', open_[i - 1], "pathlog", now, ""});
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status Tracer::WriteTo(const std::string& path, FileOps* fops) const {
+  if (fops == nullptr) fops = DefaultFileOps();
+  return WriteFileAtomic(fops, path, ToJson());
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  open_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace pathlog

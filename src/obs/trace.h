@@ -1,0 +1,110 @@
+// Structured evaluation tracing: span events in the Chrome
+// trace-event JSON format, loadable in chrome://tracing and Perfetto.
+//
+// The tracer buffers duration events ("ph":"B"/"E") in memory and
+// renders the whole buffer as `{"traceEvents":[...]}` on demand. The
+// engine, database, WAL, and trigger engine open spans around their
+// phases (load → stratify → stratum → iteration → rule evaluation →
+// delta pass; WAL append/fsync/checkpoint; trigger firing), so a
+// trace of a materialisation is a tree whose nesting the tests
+// validate: every E closes the most recent B, strata contain
+// iterations contain rule evaluations.
+//
+// Null-sink discipline: instrumentation sites hold a Tracer* that may
+// be null and guard with one branch — TraceSpan does that guard, so
+// `TraceSpan span(tracer, "name");` is the entire instrumentation.
+// Appending takes a mutex (tracing is for diagnosis, not for the
+// disabled fast path).
+
+#ifndef PATHLOG_OBS_TRACE_H_
+#define PATHLOG_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "store/file_ops.h"
+
+namespace pathlog {
+
+/// One buffered trace event. `args_json` is either empty or a
+/// complete JSON object rendered by the caller (e.g. R"({"rule":3})").
+struct TraceEvent {
+  char phase;            ///< 'B' begin, 'E' end, 'i' instant
+  std::string name;
+  std::string category;
+  uint64_t ts_us;        ///< microseconds since the tracer's epoch
+  std::string args_json;
+};
+
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Begin(std::string_view name, std::string_view category = "pathlog",
+             std::string_view args_json = "");
+  void End();
+  /// A zero-duration marker (rendered with "s":"t" thread scope).
+  void Instant(std::string_view name,
+               std::string_view category = "pathlog",
+               std::string_view args_json = "");
+
+  size_t event_count() const;
+  /// Open B spans minus E closes so far (0 for a quiesced tracer).
+  int open_spans() const;
+
+  /// The whole buffer as a Chrome trace: {"traceEvents":[...]}.
+  /// Unbalanced B spans are closed at render time so the file is
+  /// always loadable.
+  std::string ToJson() const;
+
+  /// ToJson() written atomically to `path` (nullptr fops = real FS).
+  Status WriteTo(const std::string& path, FileOps* fops = nullptr) const;
+
+  /// Drops every buffered event and restarts the clock.
+  void Reset();
+
+ private:
+  uint64_t NowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+  /// Names of currently open B spans (E events replay the name so the
+  /// trace viewer can match them without relying on stack order).
+  std::vector<std::string> open_;
+};
+
+/// RAII span: no-op when `tracer` is null.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, std::string_view name,
+            std::string_view category = "pathlog",
+            std::string_view args_json = "")
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) tracer_->Begin(name, category, args_json);
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->End();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_OBS_TRACE_H_

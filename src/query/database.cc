@@ -1,6 +1,7 @@
 #include "query/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iterator>
 #include <set>
@@ -11,6 +12,9 @@
 #include "base/crc32.h"
 #include "base/strings.h"
 #include "eval/ref_eval.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "query/planner.h"
 #include "semantics/structure.h"
@@ -32,11 +36,38 @@ constexpr size_t kDbMagicLen = 8;
 Database::Database() : Database(DatabaseOptions{}) {}
 
 Database::Database(DatabaseOptions options) : options_(options) {
+  store_.set_metrics(options_.engine.obs.metrics);
   // The built-in method and the structural type names always exist.
   store_.InternSymbol(kSelfMethodName);
   store_.InternSymbol(kAnyTypeName);
   store_.InternSymbol(kIntTypeName);
   store_.InternSymbol(kStringTypeName);
+}
+
+void Database::SetObsSinks(const ObsSinks& obs) {
+  options_.engine.obs = obs;
+  options_.triggers.obs = obs;
+  store_.set_metrics(obs.metrics);
+  if (wal_) wal_->set_obs(obs.metrics, obs.tracer);
+  UpdateStoreGauges();
+}
+
+std::string Database::ProfileReport() const {
+  if (options_.engine.obs.profiler == nullptr) {
+    return "profile: no profiler attached (enable profiling first)\n";
+  }
+  return options_.engine.obs.profiler->Report();
+}
+
+void Database::UpdateStoreGauges() {
+  MetricsRegistry* m = options_.engine.obs.metrics;
+  if (m == nullptr) return;
+  if (Gauge* g = m->GetGauge("pathlog_store_objects", "universe size")) {
+    g->Set(static_cast<double>(store_.UniverseSize()));
+  }
+  if (Gauge* g = m->GetGauge("pathlog_store_facts", "fact log length")) {
+    g->Set(static_cast<double>(store_.generation()));
+  }
 }
 
 void Database::InternNames(const Ref& t) {
@@ -83,6 +114,7 @@ Status Database::Load(std::string_view program_text) {
 }
 
 Status Database::LoadProgram(const Program& program) {
+  TraceSpan load_span(options_.engine.obs.tracer, "db.load", "database");
   if (!program.queries.empty()) {
     return InvalidArgument(
         "programs loaded into a Database must not contain `?-` queries; "
@@ -135,14 +167,20 @@ Status Database::LoadProgram(const Program& program) {
 }
 
 Status Database::Materialize() {
+  TraceSpan mat_span(options_.engine.obs.tracer, "db.materialize",
+                     "database");
   Engine engine(&store_, options_.engine);
   PATHLOG_RETURN_IF_ERROR(engine.AddRules(rules_));
-  PATHLOG_RETURN_IF_ERROR(engine.Run());
+  Status run_status = engine.Run();
+  // Stats are preserved even when Run() fails — a kDeadlineExceeded
+  // with no elapsed time, stratum, or rule context is undiagnosable.
   last_stats_ = engine.stats();
   if (options_.engine.trace_provenance) {
     const std::vector<DerivationRecord>& records = engine.provenance();
     provenance_.insert(provenance_.end(), records.begin(), records.end());
   }
+  UpdateStoreGauges();
+  PATHLOG_RETURN_IF_ERROR(run_status);
   dirty_ = false;
   if (options_.fire_triggers_on_materialize && !triggers_.empty()) {
     PATHLOG_RETURN_IF_ERROR(FireTriggers());
@@ -173,6 +211,8 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
   if (dirty_) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
+  TraceSpan query_span(options_.engine.obs.tracer, "db.query", "database");
+  const auto query_t0 = std::chrono::steady_clock::now();
   std::vector<Literal> body = query.body;
   std::set<std::string> user_vars;
   for (const Literal& lit : body) {
@@ -183,7 +223,10 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
     if (lit.negated) continue;
     for (const std::string& v : VarsOf(*lit.ref)) user_vars.insert(v);
   }
-  PATHLOG_RETURN_IF_ERROR(PlanConjunction(&body, store_, nullptr));
+  Profiler* profiler = options_.engine.obs.profiler;
+  std::vector<double> estimates;
+  PATHLOG_RETURN_IF_ERROR(PlanConjunction(
+      &body, store_, nullptr, profiler != nullptr ? &estimates : nullptr));
   // Queries intern names; recovery replays oids densely, so even
   // fact-free universe growth must reach the log.
   PATHLOG_RETURN_IF_ERROR(CommitDurable());
@@ -194,6 +237,9 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
   SemanticStructure I(store_);
   RefEvaluator eval(I, options_.engine.use_inverted_indexes);
   Bindings b;
+  // Per-literal solution production, recorded against the planner's
+  // estimates (profiler only).
+  std::vector<uint64_t> produced(profiler != nullptr ? body.size() : 0, 0);
   std::function<Result<bool>(size_t)> go = [&](size_t i) -> Result<bool> {
     if (i == body.size()) {
       std::vector<Oid> row;
@@ -217,11 +263,42 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
       if (*sat) return true;
       return go(i + 1);
     }
-    return eval.Enumerate(*lit.ref, &b, [&](Oid) { return go(i + 1); });
+    return eval.Enumerate(*lit.ref, &b, [&](Oid) {
+      if (profiler != nullptr) ++produced[i];
+      return go(i + 1);
+    });
   };
   Result<bool> r = go(0);
   if (!r.ok()) return r.status();
   result.Dedup();
+
+  if (profiler != nullptr) {
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (body[i].negated) continue;
+      profiler->RecordDriverLiteral(ToString(body[i]),
+                                    i < estimates.size() ? estimates[i] : 0,
+                                    produced[i]);
+    }
+    Profiler::RouteTotals routes;
+    routes.inverted_probes = eval.inverted_probes();
+    routes.extent_scans = eval.extent_scans();
+    routes.universe_scans = eval.universe_scans();
+    routes.duplicates_suppressed = eval.duplicates_suppressed();
+    profiler->RecordRoutes(routes);
+  }
+  if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
+    if (Counter* c = m->GetCounter("pathlog_queries_total",
+                                   "conjunctive queries answered")) {
+      c->Inc();
+    }
+    if (Histogram* h =
+            m->GetHistogram("pathlog_query_ms", DefaultLatencyBoundsMs(),
+                            "query wall time in milliseconds")) {
+      h->Observe(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - query_t0)
+                     .count());
+    }
+  }
   return result;
 }
 
@@ -397,6 +474,8 @@ Result<Database> Database::LoadSnapshotBytes(const std::string& bytes,
   Result<ObjectStore> store = DeserializeSnapshot(store_bytes);
   if (!store.ok()) return store.status();
   db.store_ = std::move(*store);
+  // The deserialized store replaced the constructor's, so re-attach.
+  db.store_.set_metrics(options.engine.obs.metrics);
   PATHLOG_RETURN_IF_ERROR(db.Load(sig_text));
   PATHLOG_RETURN_IF_ERROR(db.Load(rules_text));
   db.trigger_watermark_ =
@@ -472,6 +551,7 @@ Result<Database> Database::Open(const std::string& dir,
           fops->OpenForWrite(db.WalPath(), /*truncate=*/false);
       if (!file.ok()) return file.status();
       db.wal_ = std::make_unique<WalAppender>(std::move(*file));
+      db.wal_->set_obs(options.engine.obs.metrics, options.engine.obs.tracer);
     }
   } else {
     PATHLOG_RETURN_IF_ERROR(db.ResetWal());
@@ -492,6 +572,7 @@ Status Database::ResetWal() {
       fops_->OpenForWrite(WalPath(), /*truncate=*/false);
   if (!file.ok()) return file.status();
   wal_ = std::make_unique<WalAppender>(std::move(*file));
+  wal_->set_obs(options_.engine.obs.metrics, options_.engine.obs.tracer);
   return Status::OK();
 }
 
@@ -564,6 +645,7 @@ Status Database::CommitDurable() {
 }
 
 Status Database::FinishMutation(Status st) {
+  UpdateStoreGauges();
   if (!wal_) return st;
   Status commit = CommitDurable();
   // The mutation's own error wins, but the commit still ran: whatever
@@ -576,6 +658,13 @@ Status Database::Checkpoint() {
     return InvalidArgument(
         "Checkpoint() is only meaningful for a database from "
         "Database::Open");
+  }
+  TraceSpan span(options_.engine.obs.tracer, "wal.checkpoint", "wal");
+  if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
+    if (Counter* c = m->GetCounter("pathlog_checkpoints_total",
+                                   "snapshot+WAL-reset checkpoints")) {
+      c->Inc();
+    }
   }
   Result<std::string> bytes = SaveSnapshotBytes();
   if (!bytes.ok()) return bytes.status();

@@ -160,6 +160,20 @@ class Database {
   /// True when this database was produced by Open() and is logging.
   bool durable() const { return wal_ != nullptr; }
 
+  /// Attaches (or, with all-null sinks, detaches) observability at
+  /// runtime: the engine, trigger engine, store, WAL appender, and the
+  /// database's own spans/counters all pick up the new sinks. The
+  /// sink objects are borrowed; keep them alive until detached or the
+  /// database is destroyed. Equivalent to setting
+  /// DatabaseOptions::engine.obs before construction.
+  void SetObsSinks(const ObsSinks& obs);
+  const ObsSinks& obs() const { return options_.engine.obs; }
+
+  /// The attached profiler's report (per-rule cumulative time table,
+  /// index-route totals, planner estimate-vs-actual table), or a
+  /// one-line note when no profiler is attached.
+  std::string ProfileReport() const;
+
   ObjectStore& store() { return store_; }
   const ObjectStore& store() const { return store_; }
   const SignatureTable& signatures() const { return signatures_; }
@@ -198,6 +212,10 @@ class Database {
   /// and signatures that are already installed (replay after a crash
   /// between checkpoint and WAL reset sees both copies).
   Status ReplayProgramText(const std::string& text);
+
+  /// Refreshes the pathlog_store_* gauges (universe size, fact count);
+  /// no-op without a metrics sink.
+  void UpdateStoreGauges();
 
   std::string WalPath() const { return durable_dir_ + "/wal.plgwal"; }
   std::string SnapshotPath() const {

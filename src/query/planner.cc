@@ -148,7 +148,8 @@ double EstimateLiteralCost(const Ref& t, const std::set<std::string>& bound,
 }
 
 Status PlanConjunction(std::vector<Literal>* body, const ObjectStore& store,
-                       std::vector<std::string>* cost_log) {
+                       std::vector<std::string>* cost_log,
+                       std::vector<double>* estimates) {
   std::vector<Literal> remaining = std::move(*body);
   std::vector<Literal> ordered;
   std::set<std::string> bound;
@@ -195,6 +196,10 @@ Status PlanConjunction(std::vector<Literal>* body, const ObjectStore& store,
       cost_log->push_back(StrCat(ToString(remaining[best]),
                                  "   (estimated driver cardinality ",
                                  best_cost, ")"));
+    }
+    if (estimates != nullptr) {
+      // The raw anchor estimate, without the negation tie-break nudge.
+      estimates->push_back(best_cost - (remaining[best].negated ? 0.5 : 0.0));
     }
     if (!remaining[best].negated) {
       for (const std::string& v : VarsOf(*remaining[best].ref)) {

@@ -30,9 +30,12 @@ double EstimateLiteralCost(const Ref& t, const std::set<std::string>& bound,
 /// Reorders `body` greedily by cost subject to safety. On success the
 /// body is in execution order; kUnsafeRule when no safe order exists.
 /// If `cost_log` is non-null it receives one line per literal with the
-/// estimate used (for ExplainQuery).
+/// estimate used (for ExplainQuery). If `estimates` is non-null it
+/// receives the raw per-literal estimates, aligned with the final body
+/// order (for the profiler's estimate-vs-actual record).
 Status PlanConjunction(std::vector<Literal>* body, const ObjectStore& store,
-                       std::vector<std::string>* cost_log = nullptr);
+                       std::vector<std::string>* cost_log = nullptr,
+                       std::vector<double>* estimates = nullptr);
 
 }  // namespace pathlog
 

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "base/strings.h"
+#include "obs/metrics.h"
 
 namespace pathlog {
 
@@ -18,7 +19,23 @@ ObjectStore::ObjectStore() = default;
 
 Oid ObjectStore::AddObject(ObjectInfo info) {
   objects_.push_back(std::move(info));
+  if (metrics_.objects != nullptr) metrics_.objects->Inc();
   return static_cast<Oid>(objects_.size() - 1);
+}
+
+void ObjectStore::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metrics_ = MetricsHooks{};
+    return;
+  }
+  metrics_.objects = metrics->GetCounter(
+      "pathlog_store_objects_total", "objects added to the universe");
+  metrics_.isa_facts = metrics->GetCounter("pathlog_store_isa_facts_total",
+                                           "isa facts asserted");
+  metrics_.scalar_facts = metrics->GetCounter(
+      "pathlog_store_scalar_facts_total", "scalar method facts asserted");
+  metrics_.set_facts = metrics->GetCounter(
+      "pathlog_store_set_facts_total", "set membership facts asserted");
 }
 
 Oid ObjectStore::InternSymbol(std::string_view name) {
@@ -118,6 +135,7 @@ Status ObjectStore::AddIsa(Oid sub, Oid super) {
   }
 
   log_.push_back(Fact{FactKind::kIsa, super, sub, {}, kNilOid});
+  if (metrics_.isa_facts != nullptr) metrics_.isa_facts->Inc();
   return Status::OK();
 }
 
@@ -188,6 +206,7 @@ Status ObjectStore::SetScalar(Oid m, Oid recv, const std::vector<Oid>& args,
   t.by_recv[recv].push_back(idx);
   t.by_value[value].push_back(idx);
   log_.push_back(Fact{FactKind::kScalar, m, recv, args, value});
+  if (metrics_.scalar_facts != nullptr) metrics_.scalar_facts->Inc();
   return Status::OK();
 }
 
@@ -262,6 +281,7 @@ bool ObjectStore::AddSetMember(Oid m, Oid recv, const std::vector<Oid>& args,
   g.members.push_back(value);
   g.member_gens.push_back(log_.size());
   log_.push_back(Fact{FactKind::kSetMember, m, recv, args, value});
+  if (metrics_.set_facts != nullptr) metrics_.set_facts->Inc();
   return true;
 }
 

@@ -47,6 +47,9 @@
 
 namespace pathlog {
 
+class Counter;
+class MetricsRegistry;
+
 /// What kind of denotation an object carries.
 enum class ObjectKind : uint8_t {
   /// A symbolic name from N (e.g. `mary`, `employee`, `color`).
@@ -257,6 +260,16 @@ class ObjectStore {
   };
   Stats ComputeStats() const;
 
+  // --- Observability -------------------------------------------------
+
+  /// Attaches a metrics registry (nullptr detaches). From this point
+  /// on, every new object and every asserted fact bumps the
+  /// pathlog_store_* counters. Disabled cost per mutation is one
+  /// branch. A copy of the store inherits the attachment — mutations
+  /// to the copy are real mutations and count too; callers that copy
+  /// for oracle runs should detach on the copy.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   struct ObjectInfo {
     ObjectKind kind;
@@ -281,6 +294,16 @@ class ObjectStore {
   };
 
   Oid AddObject(ObjectInfo info);
+
+  /// Cached metric handles (borrowed from the attached registry; all
+  /// null when metrics are detached).
+  struct MetricsHooks {
+    Counter* objects = nullptr;
+    Counter* isa_facts = nullptr;
+    Counter* scalar_facts = nullptr;
+    Counter* set_facts = nullptr;
+  };
+  MetricsHooks metrics_;
 
   std::vector<ObjectInfo> objects_;
   std::unordered_map<std::string, Oid> symbols_;

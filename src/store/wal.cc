@@ -1,10 +1,13 @@
 #include "store/wal.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "base/coding.h"
 #include "base/crc32.h"
 #include "base/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pathlog {
 
@@ -246,11 +249,47 @@ Status ApplyWalRecordToStore(const WalRecord& record, ObjectStore* store) {
   return Internal("unreachable wal record type");
 }
 
+void WalAppender::set_obs(MetricsRegistry* metrics, Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    appends_ = nullptr;
+    append_bytes_ = nullptr;
+    fsyncs_ = nullptr;
+    fsync_ms_ = nullptr;
+    return;
+  }
+  appends_ = metrics->GetCounter("pathlog_wal_appends_total",
+                                 "records appended to the WAL");
+  append_bytes_ = metrics->GetCounter("pathlog_wal_append_bytes_total",
+                                      "framed bytes appended to the WAL");
+  fsyncs_ = metrics->GetCounter("pathlog_wal_fsyncs_total",
+                                "fsyncs issued on the WAL");
+  fsync_ms_ = metrics->GetHistogram("pathlog_wal_fsync_ms",
+                                    DefaultLatencyBoundsMs(),
+                                    "WAL fsync latency in milliseconds");
+}
+
 Status WalAppender::Append(std::string_view payload) {
   std::string frame;
   frame.reserve(payload.size() + 8);
   AppendWalFrame(&frame, payload);
+  if (appends_ != nullptr) appends_->Inc();
+  if (append_bytes_ != nullptr) append_bytes_->Inc(frame.size());
   return file_->Append(frame);
+}
+
+Status WalAppender::Sync() {
+  TraceSpan span(tracer_, "wal.fsync", "wal");
+  const auto t0 = std::chrono::steady_clock::now();
+  Status st = file_->Sync();
+  if (fsyncs_ != nullptr) fsyncs_->Inc();
+  if (fsync_ms_ != nullptr) {
+    fsync_ms_->Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  return st;
 }
 
 }  // namespace pathlog

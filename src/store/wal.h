@@ -103,18 +103,33 @@ Result<WalScan> ScanWal(std::string_view bytes);
 /// function ignores them.
 Status ApplyWalRecordToStore(const WalRecord& record, ObjectStore* store);
 
+class Counter;
+class Histogram;
+class MetricsRegistry;
+class Tracer;
+
 /// Thin framing wrapper over an open WAL file.
 class WalAppender {
  public:
   explicit WalAppender(std::unique_ptr<FileOps::WritableFile> file)
       : file_(std::move(file)) {}
 
+  /// Attaches observability sinks (either may be null). Appends count
+  /// records and bytes; Sync records an fsync latency sample and a
+  /// "wal.fsync" trace span.
+  void set_obs(MetricsRegistry* metrics, Tracer* tracer);
+
   /// Appends one framed payload (buffered by the OS until Sync).
   Status Append(std::string_view payload);
-  Status Sync() { return file_->Sync(); }
+  Status Sync();
 
  private:
   std::unique_ptr<FileOps::WritableFile> file_;
+  Counter* appends_ = nullptr;
+  Counter* append_bytes_ = nullptr;
+  Counter* fsyncs_ = nullptr;
+  Histogram* fsync_ms_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pathlog

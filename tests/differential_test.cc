@@ -8,6 +8,9 @@
 #include <set>
 
 #include "base/strings.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "query/database.h"
 #include "store/fact.h"
 #include "workload/company.h"
@@ -170,6 +173,58 @@ TEST_P(IndexDifferentialTest, InvertedIndexesChangeNoAnswers) {
 
 INSTANTIATE_TEST_SUITE_P(
     Programs, IndexDifferentialTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      return param_info.param.name;
+    });
+
+class ObsDifferentialTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ObsDifferentialTest, ObservabilityChangesNoAnswers) {
+  // Observability is pure measurement: with every sink attached
+  // (metrics, tracer, profiler) the materialised fact set and the
+  // query answers must equal the unobserved run, for all strategies.
+  const Case& c = GetParam();
+  for (EvalStrategy s :
+       {EvalStrategy::kNaive, EvalStrategy::kSemiNaiveRules,
+        EvalStrategy::kSemiNaiveDelta}) {
+    MetricsRegistry metrics;
+    Tracer tracer;
+    Profiler profiler;
+    std::set<std::string> facts[2];
+    std::string answers[2];
+    for (int observed = 0; observed < 2; ++observed) {
+      DatabaseOptions opts;
+      opts.engine.strategy = s;
+      if (observed == 1) {
+        opts.engine.obs.metrics = &metrics;
+        opts.engine.obs.tracer = &tracer;
+        opts.engine.obs.profiler = &profiler;
+        opts.triggers.obs = opts.engine.obs;
+      }
+      Database db(opts);
+      Generate(&db.store(), c.workload);
+      Status st = db.Load(c.rules);
+      ASSERT_TRUE(st.ok()) << st;
+      st = db.Materialize();
+      ASSERT_TRUE(st.ok()) << st;
+      for (uint64_t g = 0; g < db.store().generation(); ++g) {
+        facts[observed].insert(FactToString(db.store().FactAt(g),
+                                            db.store()));
+      }
+      Result<ResultSet> rs = db.Query("?- X[kids->>{Y}].");
+      ASSERT_TRUE(rs.ok()) << rs.status();
+      answers[observed] = rs->ToString(db.store());
+    }
+    EXPECT_EQ(facts[0], facts[1]) << c.name << " strategy "
+                                  << static_cast<int>(s);
+    EXPECT_EQ(answers[0], answers[1]) << c.name << " strategy "
+                                      << static_cast<int>(s);
+    EXPECT_EQ(tracer.open_spans(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, ObsDifferentialTest, ::testing::ValuesIn(kCases),
     [](const ::testing::TestParamInfo<Case>& param_info) {
       return param_info.param.name;
     });

@@ -335,6 +335,50 @@ TEST(EngineTest, WallClockBudgetTripsAsDeadlineExceeded) {
   EXPECT_EQ(engine.Run().code(), StatusCode::kDeadlineExceeded);
 }
 
+TEST(EngineTest, DeadlineRecordsElapsedTimeAndCulprit) {
+  // A kDeadlineExceeded return must be diagnosable: the stats carry
+  // the wall time spent and the stratum/rule active when the budget
+  // tripped, and the error message names them.
+  ObjectStore store;
+  store.InternSymbol(kSelfMethodName);
+  EngineOptions opts;
+  opts.max_wall_ms = 50;
+  Engine engine(&store, opts);
+  ASSERT_TRUE(LoadFactsAndRules(&store, &engine, R"(
+    z[count->1].
+    X.succ[count->1] <- X[count->1].
+  )").ok());
+  Status st = engine.Run();
+  ASSERT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  const EngineStats& stats = engine.stats();
+  EXPECT_GE(stats.elapsed_ms, 50.0);
+  EXPECT_EQ(stats.limit_stratum, 0);
+  EXPECT_EQ(stats.limit_rule, "X.succ[count->1] <- X[count->1].");
+  EXPECT_NE(st.message().find("in stratum 0"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("X.succ[count->1]"), std::string::npos) << st;
+}
+
+TEST(EngineTest, SuccessfulRunRecordsElapsedAndStratumIterations) {
+  ObjectStore store;
+  store.InternSymbol(kSelfMethodName);
+  Engine engine(&store);
+  ASSERT_TRUE(LoadFactsAndRules(&store, &engine, R"(
+    a[kids->>{b}]. b[kids->>{c}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+    X[desc->>{Z}] <- X[kids->>{Y}], Y[desc->>{Z}].
+  )").ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const EngineStats& stats = engine.stats();
+  EXPECT_GE(stats.elapsed_ms, 0.0);
+  EXPECT_EQ(stats.limit_stratum, -1);
+  EXPECT_TRUE(stats.limit_rule.empty());
+  ASSERT_EQ(stats.stratum_iterations.size(),
+            static_cast<size_t>(stats.num_strata));
+  uint64_t total = 0;
+  for (uint64_t n : stats.stratum_iterations) total += n;
+  EXPECT_EQ(total, stats.iterations);
+}
+
 TEST(EngineTest, WallClockBudgetOffByDefault) {
   // max_wall_ms = 0 must mean "no deadline", not "deadline now".
   ObjectStore store;

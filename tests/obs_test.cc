@@ -1,0 +1,377 @@
+// Tests for the observability layer: the JSON helper, the metrics
+// registry and its two export formats (which must flatten to the same
+// samples), the tracer's balance and nesting over a real
+// materialisation, the profiler's report, and the store counters.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "query/database.h"
+
+namespace pathlog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON helper.
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->as_bool());
+  EXPECT_FALSE(ParseJson("false")->as_bool());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-2.5e2")->as_number(), -250.0);
+  EXPECT_EQ(ParseJson(R"("hi\n\"there\"")")->as_string(), "hi\n\"there\"");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  Result<JsonValue> v = ParseJson(R"({"a":[1,2,{"b":true}],"c":null})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[0].as_number(), 1.0);
+  const JsonValue* b = a->items()[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->as_bool());
+  EXPECT_TRUE(v->Find("c")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+}
+
+TEST(JsonTest, StringEscaping) {
+  std::string out;
+  AppendJsonString(&out, "a\"b\\c\n\t");
+  // The escaped form must parse back to the original.
+  Result<JsonValue> v = ParseJson(out);
+  ASSERT_TRUE(v.ok()) << out << ": " << v.status();
+  EXPECT_EQ(v->as_string(), "a\"b\\c\n\t");
+}
+
+TEST(JsonTest, NumberFormatting) {
+  std::string out;
+  AppendJsonNumber(&out, 7);
+  EXPECT_EQ(out, "7");
+  out.clear();
+  AppendJsonNumber(&out, 2.5);
+  EXPECT_DOUBLE_EQ(ParseJson(out)->as_number(), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c_total", "a counter");
+  ASSERT_NE(c, nullptr);
+  c->Inc();
+  c->Inc(4);
+  EXPECT_EQ(c->value(), 5u);
+  // Same name, same pointer.
+  EXPECT_EQ(reg.GetCounter("c_total"), c);
+
+  Gauge* g = reg.GetGauge("g");
+  ASSERT_NE(g, nullptr);
+  g->Set(10);
+  g->Add(-2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 7.5);
+}
+
+TEST(MetricsTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.GetCounter("x"), nullptr);
+  EXPECT_EQ(reg.GetGauge("x"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("x", DefaultLatencyBoundsMs()), nullptr);
+}
+
+TEST(MetricsTest, HistogramBucketsAreCumulativeInPrometheus) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat_ms", {1.0, 10.0}, "latency");
+  ASSERT_NE(h, nullptr);
+  h->Observe(0.5);   // le=1
+  h->Observe(5.0);   // le=10
+  h->Observe(50.0);  // +Inf
+  EXPECT_EQ(h->bucket_count(0), 1u);
+  EXPECT_EQ(h->bucket_count(1), 1u);
+  EXPECT_EQ(h->bucket_count(2), 1u);
+  EXPECT_EQ(h->total_count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 55.5);
+
+  Result<MetricsSamples> samples =
+      ParseMetricsPrometheusText(reg.ToPrometheusText());
+  ASSERT_TRUE(samples.ok()) << samples.status();
+  EXPECT_DOUBLE_EQ((*samples)["lat_ms_bucket{le=\"1\"}"], 1.0);
+  EXPECT_DOUBLE_EQ((*samples)["lat_ms_bucket{le=\"10\"}"], 2.0);
+  EXPECT_DOUBLE_EQ((*samples)["lat_ms_bucket{le=\"+Inf\"}"], 3.0);
+  EXPECT_DOUBLE_EQ((*samples)["lat_ms_count"], 3.0);
+  EXPECT_DOUBLE_EQ((*samples)["lat_ms_sum"], 55.5);
+}
+
+TEST(MetricsTest, JsonAndPrometheusRoundTripToSameSamples) {
+  MetricsRegistry reg;
+  reg.GetCounter("requests_total", "requests")->Inc(17);
+  reg.GetGauge("temperature", "degrees")->Set(-3.25);
+  Histogram* h = reg.GetHistogram("dur_ms", DefaultLatencyBoundsMs(), "d");
+  h->Observe(0.1);
+  h->Observe(300);
+
+  Result<MetricsSamples> from_json = ParseMetricsJson(reg.ToJson());
+  ASSERT_TRUE(from_json.ok()) << from_json.status();
+  Result<MetricsSamples> from_prom =
+      ParseMetricsPrometheusText(reg.ToPrometheusText());
+  ASSERT_TRUE(from_prom.ok()) << from_prom.status();
+
+  EXPECT_EQ(*from_json, *from_prom);
+  EXPECT_DOUBLE_EQ((*from_json)["requests_total"], 17.0);
+  EXPECT_DOUBLE_EQ((*from_json)["temperature"], -3.25);
+  EXPECT_DOUBLE_EQ((*from_json)["dur_ms_count"], 2.0);
+}
+
+TEST(MetricsTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(ParseMetricsJson("not json").ok());
+  EXPECT_FALSE(ParseMetricsJson("[1,2]").ok());
+  EXPECT_FALSE(ParseMetricsPrometheusText("name_without_value\n").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+
+TEST(TraceTest, BalancesAndCounts) {
+  Tracer t;
+  t.Begin("outer", "test");
+  t.Begin("inner", "test");
+  EXPECT_EQ(t.open_spans(), 2);
+  t.End();
+  t.Instant("marker", "test");
+  EXPECT_EQ(t.open_spans(), 1);
+  EXPECT_EQ(t.event_count(), 4u);
+
+  // ToJson closes still-open spans so output is always balanced.
+  Result<JsonValue> doc = ParseJson(t.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int depth = 0;
+  for (const JsonValue& e : events->items()) {
+    const std::string& ph = e.Find("ph")->as_string();
+    if (ph == "B") ++depth;
+    if (ph == "E") --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced trace: " << t.ToJson();
+
+  t.Reset();
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_EQ(t.open_spans(), 0);
+}
+
+// Nesting over a real materialisation: rule evaluations sit inside
+// iterations inside strata inside engine.run inside db.materialize.
+TEST(TraceTest, MaterializationSpansNestProperly) {
+  Tracer tracer;
+  Database db;
+  ObsSinks sinks;
+  sinks.tracer = &tracer;
+  db.SetObsSinks(sinks);
+  ASSERT_TRUE(db.Load(R"(
+    a[kids->>{b}]. b[kids->>{c}]. c[kids->>{d}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+    X[desc->>{Y}] <- X..desc[kids->>{Y}].
+  )").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  EXPECT_EQ(tracer.open_spans(), 0);
+
+  Result<JsonValue> doc = ParseJson(tracer.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Expected parent for each span kind (E events replay the name).
+  auto expected_parent = [](const std::string& name) -> const char* {
+    if (name == "rule.evaluate") return "iteration";
+    if (name == "iteration") return "stratum";
+    if (name == "stratum") return "engine.run";
+    if (name == "engine.run") return "db.materialize";
+    if (name == "delta_pass") return "rule.evaluate";
+    return nullptr;  // unconstrained
+  };
+  std::vector<std::string> stack;
+  size_t rule_spans = 0;
+  for (const JsonValue& e : events->items()) {
+    const std::string& ph = e.Find("ph")->as_string();
+    const std::string& name = e.Find("name")->as_string();
+    if (ph == "B") {
+      if (const char* parent = expected_parent(name)) {
+        ASSERT_FALSE(stack.empty()) << name << " opened at top level";
+        EXPECT_EQ(stack.back(), parent) << "bad parent for " << name;
+      }
+      if (name == "rule.evaluate") ++rule_spans;
+      stack.push_back(name);
+    } else if (ph == "E") {
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), name) << "E closes the most recent B";
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+  EXPECT_GT(rule_spans, 0u) << "no rule.evaluate spans recorded";
+}
+
+// ---------------------------------------------------------------------------
+// Profiler.
+
+TEST(ProfileTest, AccumulatesAndSorts) {
+  Profiler p;
+  p.RecordRuleEvaluation("cheap.", 100, 0, 1);
+  p.RecordRuleEvaluation("dear.", 9000, 2, 5);
+  p.RecordRuleEvaluation("dear.", 1000, 1, 3);
+  std::vector<Profiler::RuleProfile> rules = p.RuleProfiles();
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].rule, "dear.");
+  EXPECT_EQ(rules[0].evaluations, 2u);
+  EXPECT_EQ(rules[0].delta_passes, 3u);
+  EXPECT_EQ(rules[0].derivations, 8u);
+  EXPECT_EQ(rules[0].wall_ns, 10000u);
+  EXPECT_EQ(rules[1].rule, "cheap.");
+}
+
+TEST(ProfileTest, EmptyReportSaysSo) {
+  Profiler p;
+  EXPECT_EQ(p.Report(), "profile: no activity recorded\n");
+}
+
+// End-to-end: materialise and query with the profiler attached; every
+// rule with nonzero evaluations appears, sorted by cumulative time.
+TEST(ProfileTest, DatabaseProfileReportListsRules) {
+  Profiler profiler;
+  Database db;
+  ObsSinks sinks;
+  sinks.profiler = &profiler;
+  db.SetObsSinks(sinks);
+  ASSERT_TRUE(db.Load(R"(
+    a[kids->>{b}]. b[kids->>{c}].
+    X[desc->>{Y}] <- X[kids->>{Y}].
+    X[desc->>{Y}] <- X..desc[kids->>{Y}].
+  )").ok());
+  Result<ResultSet> rs = db.Query("?- a[desc->>{D}].");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->size(), 2u);
+
+  std::vector<Profiler::RuleProfile> rules = profiler.RuleProfiles();
+  ASSERT_EQ(rules.size(), 2u);
+  for (const Profiler::RuleProfile& r : rules) {
+    EXPECT_GT(r.evaluations, 0u);
+  }
+  EXPECT_TRUE(std::is_sorted(
+      rules.begin(), rules.end(),
+      [](const Profiler::RuleProfile& x, const Profiler::RuleProfile& y) {
+        return x.wall_ns > y.wall_ns;
+      }));
+
+  std::string report = db.ProfileReport();
+  EXPECT_NE(report.find("rule profile (2 rules"), std::string::npos) << report;
+  EXPECT_NE(report.find("X[desc->>{Y}] <- X[kids->>{Y}]."), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("driver literals"), std::string::npos) << report;
+  // The query drove at least one literal with recorded cardinalities.
+  std::vector<Profiler::LiteralProfile> lits = profiler.LiteralProfiles();
+  ASSERT_FALSE(lits.empty());
+  uint64_t total_actual = 0;
+  for (const Profiler::LiteralProfile& l : lits) total_actual += l.actual;
+  EXPECT_GT(total_actual, 0u);
+}
+
+TEST(ProfileTest, ReportWithoutProfilerExplains) {
+  Database db;
+  EXPECT_EQ(db.ProfileReport(),
+            "profile: no profiler attached (enable profiling first)\n");
+}
+
+// ---------------------------------------------------------------------------
+// Store counters and engine metrics through the Database front end.
+
+TEST(ObsEndToEndTest, StoreAndEngineMetricsAccumulate) {
+  MetricsRegistry reg;
+  Database db;
+  ObsSinks sinks;
+  sinks.metrics = &reg;
+  db.SetObsSinks(sinks);
+  ASSERT_TRUE(db.Load(R"(
+    mary : employee[age->30].
+    john : employee[age->40].
+    mary[friends->>{john}].
+    X[peer->Y] <- X:employee[age->A], Y:employee[age->A].
+  )").ok());
+  Result<ResultSet> rs = db.Query("?- X:employee[age->A].");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+
+  Result<MetricsSamples> samples = ParseMetricsJson(reg.ToJson());
+  ASSERT_TRUE(samples.ok()) << samples.status();
+  EXPECT_GE((*samples)["pathlog_store_isa_facts_total"], 2.0);
+  EXPECT_GE((*samples)["pathlog_store_scalar_facts_total"], 2.0);
+  EXPECT_GE((*samples)["pathlog_store_set_facts_total"], 1.0);
+  EXPECT_GT((*samples)["pathlog_store_objects_total"], 0.0);
+  EXPECT_GE((*samples)["pathlog_engine_runs_total"], 1.0);
+  EXPECT_GE((*samples)["pathlog_engine_rule_evaluations_total"], 1.0);
+  EXPECT_GE((*samples)["pathlog_engine_derivations_total"], 1.0);
+  EXPECT_GE((*samples)["pathlog_queries_total"], 1.0);
+  EXPECT_GE((*samples)["pathlog_query_ms_count"], 1.0);
+  EXPECT_GE((*samples)["pathlog_engine_run_ms_count"], 1.0);
+  // Gauges reflect the store after materialisation.
+  EXPECT_GT((*samples)["pathlog_store_objects"], 0.0);
+  EXPECT_GT((*samples)["pathlog_store_facts"], 0.0);
+}
+
+TEST(ObsEndToEndTest, DetachStopsRecording) {
+  MetricsRegistry reg;
+  Database db;
+  ObsSinks sinks;
+  sinks.metrics = &reg;
+  db.SetObsSinks(sinks);
+  ASSERT_TRUE(db.Load("a : thing.").ok());
+  Result<MetricsSamples> before = ParseMetricsJson(reg.ToJson());
+  ASSERT_TRUE(before.ok());
+
+  db.SetObsSinks(ObsSinks{});  // detach
+  ASSERT_TRUE(db.Load("b : thing. c : thing.").ok());
+  Result<MetricsSamples> after = ParseMetricsJson(reg.ToJson());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*before)["pathlog_store_isa_facts_total"],
+            (*after)["pathlog_store_isa_facts_total"]);
+}
+
+TEST(ObsEndToEndTest, TriggerMetricsAccumulate) {
+  MetricsRegistry reg;
+  DatabaseOptions opts;
+  opts.fire_triggers_on_materialize = true;
+  Database db(opts);
+  ObsSinks sinks;
+  sinks.metrics = &reg;
+  db.SetObsSinks(sinks);
+  ASSERT_TRUE(db.Load(R"(
+    audit[saw->>{X}] <~ X:employee.
+    mary : employee.
+  )").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  Result<MetricsSamples> samples = ParseMetricsJson(reg.ToJson());
+  ASSERT_TRUE(samples.ok()) << samples.status();
+  EXPECT_GE((*samples)["pathlog_trigger_rounds_total"], 1.0);
+  EXPECT_GE((*samples)["pathlog_trigger_firings_total"], 1.0);
+  EXPECT_GE((*samples)["pathlog_trigger_facts_total"], 1.0);
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "ast/printer.h"
+#include "base/strings.h"
+#include "obs/profile.h"
 #include "parser/parser.h"
 #include "query/database.h"
 #include "workload/company.h"
@@ -109,6 +111,63 @@ TEST_F(PlannerTest, PlansProduceSameAnswersAsAnyOrder) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->rows(), b->rows());
   EXPECT_EQ(a->size(), 10u);
+}
+
+// KNOWN GAP: DriverCardinality estimates a runtime-bound scalar value
+// with the *average* inverted-index bucket (entries / distinct
+// values), which is blind to skew. With one hot value holding nearly
+// every entry, the average undersells the real bucket enough to
+// misrank access paths: here the planner drives `Y[city->C]`
+// (estimate 50) ahead of the `Y:resident` extent (60 members) even
+// though the hot bucket actually yields 99 rows. A histogram- or
+// top-k-aware estimator would fix the ranking; until then the
+// profiler's estimate-vs-actual table is how the misrank is seen.
+TEST(PlannerSkewTest, AverageBucketEstimateMisranksSkewedValues) {
+  Database db;
+  Profiler profiler;
+  ObsSinks sinks;
+  sinks.profiler = &profiler;
+  db.SetObsSinks(sinks);
+  std::string program = "hub[site->metro].\noutlier[city->village].\n";
+  for (int i = 0; i < 99; ++i) {
+    program += StrCat("m", i, "[city->metro].\n");
+  }
+  for (int i = 0; i < 60; ++i) {
+    program += StrCat("m", i, " : resident.\n");
+  }
+  ASSERT_TRUE(db.Load(program).ok());
+
+  // Plan order: hub[site->C] binds C, then the planner compares
+  // Y[city->C] (average bucket: 100 entries / 2 values = 50) against
+  // Y:resident (extent 60) and picks the skew-blind estimate.
+  Result<struct Query> q =
+      ParseQuery("?- hub[site->C], Y[city->C], Y:resident.");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<Literal> body = q->body;
+  std::vector<double> estimates;
+  ASSERT_TRUE(
+      PlanConjunction(&body, db.store(), nullptr, &estimates).ok());
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(ToString(*body[1].ref), "Y[city->C]");
+  EXPECT_EQ(ToString(*body[2].ref), "Y:resident");
+  EXPECT_DOUBLE_EQ(estimates[1], 50.0);
+
+  // Run it with the profiler attached: the hot bucket's actual
+  // cardinality (99) dwarfs the estimate and exceeds the extent the
+  // planner passed over — the documented misranking, made visible.
+  Result<ResultSet> rs = db.Query("?- hub[site->C], Y[city->C], Y:resident.");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->size(), 60u);
+  bool found = false;
+  for (const Profiler::LiteralProfile& l : profiler.LiteralProfiles()) {
+    if (l.literal == "Y[city->C]") {
+      found = true;
+      EXPECT_DOUBLE_EQ(l.estimated, 50.0);
+      EXPECT_EQ(l.actual, 99u);
+      EXPECT_GT(static_cast<double>(l.actual), l.estimated * 1.9);
+    }
+  }
+  EXPECT_TRUE(found) << db.ProfileReport();
 }
 
 TEST_F(PlannerTest, ExplainQueryShowsOrderedPlan) {

@@ -158,6 +158,80 @@ TEST(ShellTest, DurableFlagRequiresADirectory) {
   EXPECT_NE(output.find("--durable requires"), std::string::npos);
 }
 
+TEST(ShellTest, MetricsCommandPrintsPrometheusText) {
+  std::string out = RunShell(
+      "mary : employee[age->30].\n"
+      "?- mary[age->A].\n"
+      "\\metrics\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("# TYPE pathlog_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("pathlog_store_isa_facts_total 1"), std::string::npos);
+}
+
+TEST(ShellTest, ProfileToggleAndReport) {
+  std::string out = RunShell(
+      "peter[kids->>{tim,mary}].\n"
+      "X[desc->>{Y}] <- X[kids->>{Y}].\n"
+      "\\profile on\n"
+      "?- peter[desc->>{Z}].\n"
+      "\\profile\n"
+      "\\profile off\n"
+      "\\profile\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("profiling on."), std::string::npos);
+  EXPECT_NE(out.find("rule profile (1 rules"), std::string::npos);
+  EXPECT_NE(out.find("X[desc->>{Y}] <- X[kids->>{Y}]."), std::string::npos);
+  EXPECT_NE(out.find("driver literals"), std::string::npos);
+  EXPECT_NE(out.find("profiling off."), std::string::npos);
+  // After \profile off the database reports no attached profiler.
+  EXPECT_NE(out.find("no profiler attached"), std::string::npos);
+}
+
+TEST(ShellTest, TraceCommandAndExitFlagsWriteValidJson) {
+  const std::string base = ::testing::TempDir() + "/shell_obs." +
+                           std::to_string(::getpid());
+  const std::string trace1 = base + ".trace1.json";
+  const std::string trace2 = base + ".trace2.json";
+  const std::string metrics = base + ".metrics.json";
+  std::string out = RunShell(
+      "peter[kids->>{tim}].\n"
+      "X[desc->>{Y}] <- X[kids->>{Y}].\n"
+      "?- peter[desc->>{Z}].\n"
+      "\\trace " + trace1 + "\n"
+      "\\metrics " + metrics + "\n"
+      "\\quit\n",
+      "--trace-out=" + trace2);
+  EXPECT_NE(out.find("wrote trace"), std::string::npos);
+  EXPECT_NE(out.find("wrote metrics JSON"), std::string::npos);
+  for (const std::string& path : {trace1, trace2}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos) << path;
+    EXPECT_NE(text.find("db.query"), std::string::npos) << path;
+    std::remove(path.c_str());
+  }
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("pathlog_queries_total"), std::string::npos);
+  std::remove(metrics.c_str());
+}
+
+TEST(ShellTest, StatsShowsElapsedAndStratumIterations) {
+  std::string out = RunShell(
+      "peter[kids->>{tim}].\n"
+      "X[desc->>{Y}] <- X[kids->>{Y}].\n"
+      "\\stats\n"
+      "\\quit\n");
+  EXPECT_NE(out.find(" ms\n"), std::string::npos);
+  EXPECT_NE(out.find("rule evaluations"), std::string::npos);
+  EXPECT_NE(out.find("iterations by stratum:"), std::string::npos);
+}
+
 TEST(ShellTest, LoadsProgramFileFromArgv) {
   const std::string prog = ::testing::TempDir() + "/shell_prog.plg";
   {

@@ -1,6 +1,7 @@
 // pathlog: an interactive PathLog shell.
 //
-//   $ ./pathlog [--durable <dir>] [file.plg ...]
+//   $ ./pathlog [--durable <dir>] [--trace-out=F] [--metrics-out=F]
+//               [file.plg ...]
 //
 // Loads the given program files, then reads clauses and queries from
 // stdin. Input is buffered until a clause-terminating '.' (so clauses
@@ -10,6 +11,10 @@
 // With --durable, the session is crash-safe: state recovers from
 // <dir> on startup and every accepted clause is written ahead to
 // <dir>/wal.plgwal before "ok." is printed.
+//
+// Observability: every session records metrics and a structured trace
+// (chrome://tracing format). \metrics and \trace expose them
+// interactively; --metrics-out / --trace-out write them at exit.
 
 #include <cstdio>
 #include <fstream>
@@ -21,6 +26,7 @@
 
 #include "pathlog/pathlog.h"
 #include "store/fact.h"
+#include "store/file_ops.h"
 
 namespace {
 
@@ -29,6 +35,9 @@ constexpr const char* kHelp = R"(PathLog shell commands:
   queries start with '?-':                  ?- X:employee[age->A].
   \help             this message
   \stats            store and engine statistics
+  \metrics [file]   session metrics (Prometheus text; with file: JSON)
+  \profile on|off   toggle the query/rule profiler; \profile to report
+  \trace <file>     write the session trace (chrome://tracing JSON)
   \facts [n]        show the first n facts (default 20)
   \rules            show the loaded rules
   \explain <gen>    provenance of the fact with generation <gen>
@@ -40,15 +49,40 @@ constexpr const char* kHelp = R"(PathLog shell commands:
   \quit             exit
 )";
 
+/// Session-lifetime observability sinks. One bundle per process: the
+/// Database only borrows these, and \restore / --durable replace the
+/// Database mid-session.
+struct SessionObs {
+  pathlog::MetricsRegistry metrics;
+  pathlog::Tracer tracer;
+  pathlog::Profiler profiler;
+};
+
+SessionObs& Obs() {
+  static SessionObs obs;
+  return obs;
+}
+
 class Shell {
  public:
-  Shell() : db_(MakeOptions()) {}
-  explicit Shell(pathlog::Database db) : db_(std::move(db)) {}
+  Shell() : db_(MakeOptions()) { AttachObs(); }
+  explicit Shell(pathlog::Database db) : db_(std::move(db)) { AttachObs(); }
 
   static pathlog::DatabaseOptions MakeOptions() {
     pathlog::DatabaseOptions opts;
     opts.engine.trace_provenance = true;
     return opts;
+  }
+
+  /// (Re)attaches the session sinks; called after every Database
+  /// replacement (\restore, durable open) so metrics/traces span the
+  /// whole session. The profiler participates only while \profile on.
+  void AttachObs() {
+    pathlog::ObsSinks sinks;
+    sinks.metrics = &Obs().metrics;
+    sinks.tracer = &Obs().tracer;
+    sinks.profiler = profile_on_ ? &Obs().profiler : nullptr;
+    db_.SetObsSinks(sinks);
   }
 
   bool LoadFile(const std::string& path) {
@@ -118,11 +152,72 @@ class Shell {
              db_.num_rules());
       const pathlog::EngineStats& es = db_.engine_stats();
       printf("last run: %llu iterations, %llu derivations, "
-             "%llu virtual objects, %d strata\n",
+             "%llu virtual objects, %d strata, %.3f ms\n",
              static_cast<unsigned long long>(es.iterations),
              static_cast<unsigned long long>(es.derivations),
              static_cast<unsigned long long>(es.skolems_created),
-             es.num_strata);
+             es.num_strata, es.elapsed_ms);
+      printf("          %llu rule evaluations, %llu delta passes, "
+             "%llu duplicates suppressed\n",
+             static_cast<unsigned long long>(es.rule_evaluations),
+             static_cast<unsigned long long>(es.delta_passes),
+             static_cast<unsigned long long>(es.duplicates_suppressed));
+      if (!es.stratum_iterations.empty()) {
+        printf("iterations by stratum:");
+        for (size_t si = 0; si < es.stratum_iterations.size(); ++si) {
+          printf(" [%zu]=%llu", si,
+                 static_cast<unsigned long long>(es.stratum_iterations[si]));
+        }
+        printf("\n");
+      }
+      if (es.limit_stratum >= 0) {
+        printf("limit hit in stratum %d%s%s\n", es.limit_stratum,
+               es.limit_rule.empty() ? "" : " while evaluating ",
+               es.limit_rule.c_str());
+      }
+    } else if (cmd == "\\metrics") {
+      std::string path;
+      if (iss >> path) {
+        pathlog::Status st = pathlog::WriteFileAtomic(
+            pathlog::DefaultFileOps(), path, Obs().metrics.ToJson());
+        if (st.ok()) {
+          printf("wrote metrics JSON to %s\n", path.c_str());
+        } else {
+          printf("%s\n", st.ToString().c_str());
+        }
+      } else {
+        printf("%s", Obs().metrics.ToPrometheusText().c_str());
+      }
+    } else if (cmd == "\\profile") {
+      std::string arg;
+      if (iss >> arg) {
+        if (arg == "on") {
+          profile_on_ = true;
+          AttachObs();
+          printf("profiling on.\n");
+        } else if (arg == "off") {
+          profile_on_ = false;
+          AttachObs();
+          printf("profiling off.\n");
+        } else {
+          printf("usage: \\profile [on|off]\n");
+        }
+      } else {
+        printf("%s", db_.ProfileReport().c_str());
+      }
+    } else if (cmd == "\\trace") {
+      std::string path;
+      if (iss >> path) {
+        pathlog::Status st = Obs().tracer.WriteTo(path);
+        if (st.ok()) {
+          printf("wrote trace (%zu events) to %s\n",
+                 Obs().tracer.event_count(), path.c_str());
+        } else {
+          printf("%s\n", st.ToString().c_str());
+        }
+      } else {
+        printf("usage: \\trace <file>\n");
+      }
     } else if (cmd == "\\facts") {
       size_t n = 20;
       iss >> n;
@@ -174,6 +269,7 @@ class Shell {
           printf("%s\n", restored.status().ToString().c_str());
         } else {
           db_ = std::move(*restored);
+          AttachObs();
           printf("restored %zu facts, %zu rules.\n",
                  db_.store().FactCount(), db_.num_rules());
         }
@@ -256,12 +352,15 @@ class Shell {
  private:
   pathlog::Database db_;
   bool done_ = false;
+  bool profile_on_ = false;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string durable_dir;
+  std::string trace_out;
+  std::string metrics_out;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -271,6 +370,10 @@ int main(int argc, char** argv) {
         return 1;
       }
       durable_dir = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(sizeof("--trace-out=") - 1);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(sizeof("--metrics-out=") - 1);
     } else {
       files.push_back(std::move(arg));
     }
@@ -292,5 +395,21 @@ int main(int argc, char** argv) {
   for (const std::string& path : files) {
     if (!shell.LoadFile(path)) return 1;
   }
-  return shell.Run();
+  int rc = shell.Run();
+  if (!trace_out.empty()) {
+    pathlog::Status st = Obs().tracer.WriteTo(trace_out);
+    if (!st.ok()) {
+      fprintf(stderr, "--trace-out: %s\n", st.ToString().c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (!metrics_out.empty()) {
+    pathlog::Status st = pathlog::WriteFileAtomic(
+        pathlog::DefaultFileOps(), metrics_out, Obs().metrics.ToJson());
+    if (!st.ok()) {
+      fprintf(stderr, "--metrics-out: %s\n", st.ToString().c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
 }
