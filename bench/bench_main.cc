@@ -1,0 +1,23 @@
+// Shared main for every bench binary, replacing the stock
+// benchmark_main. The distro's libbenchmark is compiled without NDEBUG
+// and therefore reports `"library_build_type": "debug"` in every JSON
+// context — that key describes the *benchmark library*, not the code
+// under test, so trend tooling reading it would discard perfectly good
+// Release numbers. Stamp the build type of the pathlog translation
+// units themselves instead; ci/bench_smoke.sh fails the run unless it
+// says "release".
+
+#include <benchmark/benchmark.h>
+
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("pathlog_build_type", "release");
+#else
+  benchmark::AddCustomContext("pathlog_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

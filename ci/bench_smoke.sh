@@ -88,4 +88,26 @@ if on > off * 1.05:
              "instrumentation has crept into the evaluation hot loop")
 EOF
 
+# Build-type gate: every BENCH_*.json must carry the
+# pathlog_build_type custom context key (stamped by bench/bench_main.cc
+# from the NDEBUG state of the code under test) and it must say
+# "release". The stock library_build_type key is useless here — it
+# describes the distro's libbenchmark build (always "debug"), not ours.
+python3 - "${OUT_DIR}"/BENCH_*.json <<'EOF2'
+import json, sys
+
+bad = []
+for path in sys.argv[1:]:
+    with open(path) as f:
+        ctx = json.load(f).get("context", {})
+    stamped = ctx.get("pathlog_build_type")
+    if stamped != "release":
+        bad.append(f"{path}: pathlog_build_type={stamped!r}")
+    else:
+        print(f"build-type gate: {path}: release")
+if bad:
+    sys.exit("build-type gate FAILED (benchmark numbers from a "
+             "non-release tree are meaningless):\n" + "\n".join(bad))
+EOF2
+
 echo "ci/bench_smoke.sh: benchmark JSON written to ${OUT_DIR}/"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: sanitized Debug build, full test suite, and a lint pass
-# over every shipped example program.
+# CI gate: one combined ASan+UBSan Debug build, the full test suite
+# under both sanitizers, and an analyzer-enabled lint pass over every
+# shipped example and workload scenario program.
 #
 #   ci/check.sh [build-dir]
 #
@@ -12,6 +13,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+# -fno-sanitize-recover=all already makes any UB report fatal; the
+# options below make the report actionable (symbolised stack) and keep
+# ASan strict about lifetime issues the tests might otherwise miss.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_stack_use_after_return=1:strict_string_checks=1"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -28,9 +35,13 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 "${BUILD_DIR}/tests/durability_test" \
   --gtest_filter='DurabilityTortureTest.*'
 
-# Examples must be lint-clean: exit 1 from pathlog_lint fails the gate.
-"${BUILD_DIR}/tools/pathlog_lint" examples/programs/*.plg
-"${BUILD_DIR}/tools/pathlog_lint" --json examples/programs/*.plg >/dev/null
+# Shipped programs must be lint-clean with the semantic analyses
+# (PL014-PL019) enabled: pathlog_lint exits 1 on any diagnostic,
+# warning or error, and that fails the gate.
+"${BUILD_DIR}/tools/pathlog_lint" --analyze \
+  examples/programs/*.plg src/workload/programs/*.plg
+"${BUILD_DIR}/tools/pathlog_lint" --analyze --json \
+  examples/programs/*.plg src/workload/programs/*.plg >/dev/null
 
 # Observability smoke: a traced shell session (load, materialise,
 # query) must emit valid chrome://tracing JSON and valid metrics JSON.

@@ -7,6 +7,7 @@
 #include "base/strings.h"
 #include "eval/ref_eval.h"
 #include "obs/metrics.h"
+#include "query/planner.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "semantics/structure.h"
@@ -115,7 +116,22 @@ Status OrderLiteralsForSafety(std::vector<Literal>* body,
 
 Status Engine::PlanBody(Rule* rule) const {
   std::set<std::string> bound;
-  Status st = OrderLiteralsForSafety(&rule->body, &bound);
+  Status st;
+  if (options_.planner_hints != nullptr) {
+    // Analysis-informed mode: the cost-based planner orders the body
+    // (still subject to the same safety constraints), consulting the
+    // proven hints. Identical answer set, different literal order.
+    st = PlanConjunction(&rule->body, *store_, nullptr, nullptr,
+                         options_.planner_hints);
+    if (st.ok()) {
+      for (const Literal& lit : rule->body) {
+        if (lit.negated) continue;
+        for (const std::string& v : VarsOf(*lit.ref)) bound.insert(v);
+      }
+    }
+  } else {
+    st = OrderLiteralsForSafety(&rule->body, &bound);
+  }
   if (!st.ok()) {
     return UnsafeRule(StrCat("in rule `", ToString(*rule), "`: ",
                              st.message()));

@@ -40,6 +40,7 @@
 namespace pathlog {
 
 class RefEvaluator;
+struct PlannerHints;  // query/planner.h
 
 enum class EvalStrategy : uint8_t {
   /// Every rule re-evaluated every iteration (textbook oracle).
@@ -82,6 +83,13 @@ struct EngineOptions {
   /// branch per instrumentation site). Borrowed; the caller keeps them
   /// alive for the engine's lifetime.
   ObsSinks obs;
+  /// Facts proved by the semantic analyses (query/planner.h). When
+  /// non-null, rule bodies are ordered by the cost-based planner with
+  /// these hints instead of the first-admissible safety order — the
+  /// answer set is identical (differential-tested), only literal order
+  /// changes. Borrowed; the caller keeps it alive for the engine's
+  /// lifetime.
+  const PlannerHints* planner_hints = nullptr;
 };
 
 /// One head-instance assertion that added facts: the facts with

@@ -1,0 +1,73 @@
+#include "lint/dataflow/dataflow.h"
+
+namespace pathlog {
+
+std::vector<uint32_t> StronglyConnectedComponents(
+    size_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  // Adjacency lists.
+  std::vector<std::vector<uint32_t>> adj(num_nodes);
+  for (const auto& [from, to] : edges) {
+    if (from < num_nodes && to < num_nodes) adj[from].push_back(to);
+  }
+
+  constexpr uint32_t kUnvisited = 0xffffffffu;
+  std::vector<uint32_t> index(num_nodes, kUnvisited);
+  std::vector<uint32_t> lowlink(num_nodes, 0);
+  std::vector<char> on_stack(num_nodes, 0);
+  std::vector<uint32_t> stack;
+  std::vector<uint32_t> component(num_nodes, 0);
+  uint32_t next_index = 0;
+  uint32_t next_component = 0;
+
+  // Explicit DFS frames: node + position in its adjacency list.
+  struct Frame {
+    uint32_t node;
+    size_t edge;
+  };
+  std::vector<Frame> frames;
+
+  for (uint32_t root = 0; root < num_nodes; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      uint32_t v = f.node;
+      if (f.edge == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (f.edge < adj[v].size()) {
+        uint32_t w = adj[v][f.edge++];
+        if (index[w] == kUnvisited) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w] && index[w] < lowlink[v]) lowlink[v] = index[w];
+      }
+      if (descended) continue;
+      // v is finished: pop a component if v is a root.
+      if (lowlink[v] == index[v]) {
+        uint32_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          component[w] = next_component;
+        } while (w != v);
+        ++next_component;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        uint32_t parent = frames.back().node;
+        if (lowlink[v] < lowlink[parent]) lowlink[parent] = lowlink[v];
+      }
+    }
+  }
+  return component;
+}
+
+}  // namespace pathlog

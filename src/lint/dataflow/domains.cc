@@ -1,0 +1,39 @@
+#include "lint/dataflow/domains.h"
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+int SortCount(SortSet s) {
+  int n = 0;
+  for (SortSet bit : {kSortInt, kSortString, kSortObject}) {
+    if (s & bit) ++n;
+  }
+  return n;
+}
+
+std::string SortSetName(SortSet s) {
+  if (s == kSortBottom) return "unknown";
+  std::string out;
+  auto add = [&](SortSet bit, const char* name) {
+    if (!(s & bit)) return;
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  add(kSortInt, "integer");
+  add(kSortString, "string");
+  add(kSortObject, "object");
+  return out;
+}
+
+std::string IntInterval::ToString() const {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (empty()) return "(empty)";
+  std::string out = lo == kMin ? "(-inf" : StrCat("[", lo);
+  out += ", ";
+  out += hi == kMax ? "+inf)" : StrCat(hi, "]");
+  return out;
+}
+
+}  // namespace pathlog

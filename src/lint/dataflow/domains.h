@@ -1,0 +1,93 @@
+// Abstract domains for the semantic analyses (lint/dataflow/analyses.h).
+//
+// SortDomain — a powerset lattice over the three concrete value sorts
+// a PathLog name can have: integer, string, or object (symbol / oid,
+// including virtual objects). ⊥ is the empty set ("no value ever
+// observed"), ⊤ is all three; a set with two or more concrete sorts
+// witnesses a sort conflict (PL014). The powerset representation —
+// rather than a flat int/string/oid/⊤ diamond — keeps *which* sorts
+// met, so the diagnostic can say "integer and string" instead of ⊤.
+//
+// LiveDomain — the two-point lattice for fixpoint reachability
+// (PL016): can this method ever hold a tuple, starting from the
+// seeded facts?
+//
+// IntInterval — a non-relational interval for the in-body
+// contradiction check (PL015): the conjunction of comparison guards
+// (`lt`/`leq`/`gt`/`geq`/`intEq`/`between`) on one variable narrows an
+// interval; an empty interval means the body is unsatisfiable. Used
+// per-rule (meet direction), not by the fixpoint solver.
+
+#ifndef PATHLOG_LINT_DATAFLOW_DOMAINS_H_
+#define PATHLOG_LINT_DATAFLOW_DOMAINS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pathlog {
+
+/// Bitmask of concrete sorts.
+enum SortBit : uint8_t {
+  kSortInt = 1u << 0,
+  kSortString = 1u << 1,
+  kSortObject = 1u << 2,
+};
+
+using SortSet = uint8_t;
+
+inline constexpr SortSet kSortBottom = 0;
+inline constexpr SortSet kSortTop = kSortInt | kSortString | kSortObject;
+
+/// Number of concrete sorts in the set.
+int SortCount(SortSet s);
+
+/// "integer", "string", "object", or a "+"-joined list ("integer+string");
+/// "unknown" for ⊥.
+std::string SortSetName(SortSet s);
+
+struct SortDomain {
+  using Value = SortSet;
+  static Value Bottom() { return kSortBottom; }
+  static bool Join(Value* into, const Value& from) {
+    Value before = *into;
+    *into = static_cast<Value>(*into | from);
+    return *into != before;
+  }
+};
+
+struct LiveDomain {
+  /// 0 = dead, 1 = live. Not `bool`: the solver keeps a
+  /// std::vector<Value>, and vector<bool>'s proxy references cannot be
+  /// passed to Join.
+  using Value = uint8_t;
+  static Value Bottom() { return 0; }
+  static bool Join(Value* into, const Value& from) {
+    if (*into || !from) return false;
+    *into = 1;
+    return true;
+  }
+};
+
+/// A closed integer interval [lo, hi]; empty when lo > hi. Meet
+/// (intersection) direction only.
+struct IntInterval {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  bool empty() const { return lo > hi; }
+  bool Contains(int64_t v) const { return lo <= v && v <= hi; }
+
+  /// Intersects with [other_lo, other_hi] in place.
+  void Meet(int64_t other_lo, int64_t other_hi) {
+    if (other_lo > lo) lo = other_lo;
+    if (other_hi < hi) hi = other_hi;
+  }
+
+  /// Renders as "[lo, hi]" with infinities elided ("[5, +inf)").
+  std::string ToString() const;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_LINT_DATAFLOW_DOMAINS_H_

@@ -31,6 +31,14 @@ enum class LintCode {
   kRuleNeverFires = 11,   ///< PL011: body reads a never-defined method
   kUnsignedHeadPath = 12, ///< PL012: head path method lacks a signature
   kIllFormedTrigger = 13, ///< PL013: trigger event missing or negated
+  // Semantic analyses (lint/dataflow/analyses.h), behind
+  // LintOptions::analyze.
+  kSortConflict = 14,       ///< PL014: method derives conflicting sorts
+  kContradiction = 15,      ///< PL015: body constraints unsatisfiable
+  kDeadRule = 16,           ///< PL016: rule transitively unreachable
+  kNonTermination = 17,     ///< PL017: recursive invention cannot stop
+  kUnboundedInvention = 18, ///< PL018: invention possibly unbounded
+  kUnboundTarget = 19,      ///< PL019: always-unbound target, avoidable
 };
 
 /// "PL001", "PL002", ... (always three digits).

@@ -12,6 +12,7 @@
 #include "eval/dependency.h"
 #include "eval/engine.h"
 #include "eval/stratify.h"
+#include "lint/dataflow/analyses.h"
 #include "parser/parser.h"
 #include "semantics/structure.h"
 #include "store/object_store.h"
@@ -277,6 +278,14 @@ class LintPass {
     if (!options_.errors_only) {
       CheckAgainstSignatures(program);
       CheckReachability(program);
+    }
+    if (options_.analyze) {
+      AnalysisOptions analysis;
+      analysis.head_value_mode = options_.head_value_mode;
+      analysis.assume_defined = options_.assume_defined;
+      analysis.extensional_sorts = options_.extensional_sorts;
+      analysis.errors_only = options_.errors_only;
+      AnalyzeProgram(program, analysis, report_);
     }
   }
 

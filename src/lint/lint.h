@@ -31,6 +31,25 @@
 //   PL013 (error)   trigger without an event literal, or with a
 //                   negated event
 //
+// With LintOptions::analyze, the dataflow analyses
+// (lint/dataflow/analyses.h) add:
+//   PL014 (warning) method derives results of conflicting sorts, or a
+//                   comparison guard applies to a provably non-integer
+//   PL015 (warning) contradictory in-body constraints (guard intervals
+//                   meet to nothing, or one scalar method pinned to two
+//                   ground values for the same receiver)
+//   PL016 (warning) rule transitively unreachable: every body method is
+//                   defined somewhere, but only by rules that can
+//                   themselves never fire (deeper than PL011)
+//   PL017 (error)   materialisation provably cannot terminate:
+//                   recursive object invention re-derives its own
+//                   premise for each invented object
+//   PL018 (warning) recursive object invention possibly unbounded
+//                   through a rule cycle
+//   PL019 (warning) rule always evaluates a literal with an unbound
+//                   target (no index probe possible) although an
+//                   admissible reordering avoids it
+//
 // Entry points: ProgramLinter::Lint for a parsed Program,
 // ProgramLinter::LintSource for raw text (parse failures become
 // PL001), Database::Lint() for an installed database, the
@@ -39,6 +58,7 @@
 #ifndef PATHLOG_LINT_LINT_H_
 #define PATHLOG_LINT_LINT_H_
 
+#include <map>
 #include <set>
 #include <string>
 #include <string_view>
@@ -46,6 +66,7 @@
 #include "ast/program.h"
 #include "base/status.h"
 #include "eval/head_assert.h"
+#include "lint/dataflow/domains.h"
 #include "lint/diagnostic.h"
 
 namespace pathlog {
@@ -61,7 +82,18 @@ struct LintOptions {
   std::set<std::string> assume_defined;
 
   /// Skip warning-severity checks (PL006, PL008-PL012); errors only.
+  /// The analyze pass still runs when requested — PL017 is an error —
+  /// but drops its warning-severity findings.
   bool errors_only = false;
+
+  /// Run the semantic dataflow analyses (lint/dataflow/analyses.h):
+  /// PL014-PL019. Off by default; enabled by `pathlog_lint --analyze`,
+  /// the shell's `\lint`, and Database::Lint().
+  bool analyze = false;
+
+  /// Observed value sorts of the assume_defined methods (a Database's
+  /// store contents), seeding the analyze pass's type-flow fixpoint.
+  std::map<std::string, SortSet> extensional_sorts;
 };
 
 class ProgramLinter {

@@ -12,6 +12,7 @@
 #include "base/crc32.h"
 #include "base/strings.h"
 #include "eval/ref_eval.h"
+#include "lint/dataflow/analyses.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -30,6 +31,49 @@ namespace {
 /// (no magic, raw length-prefixed blobs) remain readable.
 constexpr char kDbMagic[] = "PLGDB002";
 constexpr size_t kDbMagicLen = 8;
+
+/// The concrete sort of a stored value, for seeding the type-flow
+/// analysis from extensional facts.
+SortSet SortOfOid(const ObjectStore& store, Oid o) {
+  switch (store.kind(o)) {
+    case ObjectKind::kInt:
+      return kSortInt;
+    case ObjectKind::kString:
+      return kSortString;
+    default:
+      return kSortObject;
+  }
+}
+
+/// Every method with extensional facts, plus the observed sorts of its
+/// stored values. Seeds for both Lint() and RefreshAnalysisHints().
+void CollectStoreSeeds(const ObjectStore& store,
+                       std::set<std::string>* defined,
+                       std::map<std::string, SortSet>* sorts) {
+  for (Oid m : store.ScalarMethods()) {
+    const std::string& name = store.DisplayName(m);
+    defined->insert(name);
+    SortSet s = kSortBottom;
+    for (const ScalarEntry& e : store.ScalarEntries(m)) {
+      s = static_cast<SortSet>(s | SortOfOid(store, e.value));
+    }
+    if (s != kSortBottom) (*sorts)[name] = s;
+  }
+  for (Oid m : store.SetMethods()) {
+    const std::string& name = store.DisplayName(m);
+    defined->insert(name);
+    SortSet s = kSortBottom;
+    for (const SetGroup& g : store.SetGroups(m)) {
+      for (Oid member : g.members) {
+        s = static_cast<SortSet>(s | SortOfOid(store, member));
+      }
+    }
+    if (s != kSortBottom) {
+      auto [it, inserted] = sorts->try_emplace(name, s);
+      if (!inserted) it->second = static_cast<SortSet>(it->second | s);
+    }
+  }
+}
 
 }  // namespace
 
@@ -169,7 +213,12 @@ Status Database::LoadProgram(const Program& program) {
 Status Database::Materialize() {
   TraceSpan mat_span(options_.engine.obs.tracer, "db.materialize",
                      "database");
-  Engine engine(&store_, options_.engine);
+  EngineOptions engine_options = options_.engine;
+  if (options_.use_analysis_hints) {
+    RefreshAnalysisHints();
+    engine_options.planner_hints = &planner_hints_;
+  }
+  Engine engine(&store_, engine_options);
   PATHLOG_RETURN_IF_ERROR(engine.AddRules(rules_));
   Status run_status = engine.Run();
   // Stats are preserved even when Run() fails — a kDeadlineExceeded
@@ -226,7 +275,8 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
   Profiler* profiler = options_.engine.obs.profiler;
   std::vector<double> estimates;
   PATHLOG_RETURN_IF_ERROR(PlanConjunction(
-      &body, store_, nullptr, profiler != nullptr ? &estimates : nullptr));
+      &body, store_, nullptr, profiler != nullptr ? &estimates : nullptr,
+      options_.use_analysis_hints ? &planner_hints_ : nullptr));
   // Queries intern names; recovery replays oids densely, so even
   // fact-free universe growth must reach the log.
   PATHLOG_RETURN_IF_ERROR(CommitDurable());
@@ -314,7 +364,9 @@ Result<std::string> Database::ExplainQuery(std::string_view query_text) {
     InternNames(*lit.ref);
   }
   std::vector<std::string> log;
-  PATHLOG_RETURN_IF_ERROR(PlanConjunction(&body, store_, &log));
+  PATHLOG_RETURN_IF_ERROR(PlanConjunction(
+      &body, store_, &log, nullptr,
+      options_.use_analysis_hints ? &planner_hints_ : nullptr));
   PATHLOG_RETURN_IF_ERROR(CommitDurable());
   std::string out = "plan:\n";
   for (size_t i = 0; i < log.size(); ++i) {
@@ -380,13 +432,26 @@ LintReport Database::Lint() const {
   }
   LintOptions lint_options;
   lint_options.head_value_mode = options_.engine.head_value_mode;
-  for (Oid m : store_.ScalarMethods()) {
-    lint_options.assume_defined.insert(store_.DisplayName(m));
-  }
-  for (Oid m : store_.SetMethods()) {
-    lint_options.assume_defined.insert(store_.DisplayName(m));
-  }
+  lint_options.analyze = true;
+  CollectStoreSeeds(store_, &lint_options.assume_defined,
+                    &lint_options.extensional_sorts);
   return ProgramLinter(std::move(lint_options)).Lint(program);
+}
+
+void Database::RefreshAnalysisHints() {
+  Program program;
+  program.rules = rules_;
+  program.triggers = triggers_;
+  if (!signature_text_.empty()) {
+    Result<Program> sigs = ParseProgram(signature_text_);
+    if (sigs.ok()) program.signatures = std::move(sigs->signatures);
+  }
+  AnalysisOptions analysis;
+  analysis.head_value_mode = options_.engine.head_value_mode;
+  CollectStoreSeeds(store_, &analysis.assume_defined,
+                    &analysis.extensional_sorts);
+  AnalysisSummary summary = AnalyzeProgram(program, analysis, nullptr);
+  planner_hints_.empty_methods = std::move(summary.empty_methods);
 }
 
 Status Database::FireTriggers() {

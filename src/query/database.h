@@ -22,6 +22,7 @@
 #include "base/result.h"
 #include "eval/engine.h"
 #include "lint/lint.h"
+#include "query/planner.h"
 #include "query/result_set.h"
 #include "store/file_ops.h"
 #include "store/object_store.h"
@@ -64,6 +65,12 @@ struct DatabaseOptions {
   /// Run the linter (errors only) over every program before installing
   /// it; Load/LoadProgram fail with the first lint error's status.
   bool lint_on_load = false;
+  /// Re-run the semantic analyses (lint/dataflow/analyses.h) on every
+  /// materialisation and let the engine and query planner consult the
+  /// proven facts (query/planner.h: PlannerHints). Answers are
+  /// identical with or without hints — only literal order and cost
+  /// estimates change (tests/analysis_differential_test.cc).
+  bool use_analysis_hints = false;
   /// Durability policy; consulted only by databases from Open().
   DurabilityOptions durability;
 };
@@ -115,8 +122,10 @@ class Database {
   Status TypeCheck(std::vector<TypeViolation>* violations) const;
 
   /// Lints everything installed so far: rules, triggers, and declared
-  /// signatures. Methods with extensional facts in the store count as
-  /// defined, so PL011 does not fire for them.
+  /// signatures, with the semantic analyses (PL014-PL019) enabled.
+  /// Methods with extensional facts in the store count as defined, so
+  /// PL011/PL016 do not fire for them, and the observed sorts of the
+  /// stored values seed the type-flow analysis.
   LintReport Lint() const;
 
   /// Explains how the fact with generation `gen` came to be:
@@ -217,6 +226,14 @@ class Database {
   /// no-op without a metrics sink.
   void UpdateStoreGauges();
 
+  /// Re-runs the semantic analyses over the installed rules and
+  /// triggers, refreshing planner_hints_. Called by Materialize() when
+  /// options_.use_analysis_hints is set. The proofs are monotone-safe:
+  /// a method that is statically underivable stays empty no matter how
+  /// many facts the rules derive, so hints computed before a
+  /// materialisation remain valid after it.
+  void RefreshAnalysisHints();
+
   std::string WalPath() const { return durable_dir_ + "/wal.plgwal"; }
   std::string SnapshotPath() const {
     return durable_dir_ + "/snapshot.plgdb";
@@ -233,6 +250,9 @@ class Database {
   std::string signature_text_;
   std::vector<DerivationRecord> provenance_;
   EngineStats last_stats_;
+  /// Facts proved by RefreshAnalysisHints(); consulted by Materialize,
+  /// RunQuery and ExplainQuery when options_.use_analysis_hints.
+  PlannerHints planner_hints_;
   bool dirty_ = false;
   uint64_t type_check_watermark_ = 0;
 

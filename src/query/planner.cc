@@ -31,11 +31,19 @@ std::optional<Oid> ResolveName(const Ref& t, const ObjectStore& store) {
   return std::nullopt;
 }
 
+/// True when the analyses proved the method at `m` holds no tuples.
+bool HintedEmpty(const PlannerHints* hints, const Ref& m) {
+  if (hints == nullptr) return false;
+  const Ref& d = Deref(m);
+  return d.kind == RefKind::kName && d.name_kind == NameKind::kSymbol &&
+         hints->empty_methods.count(d.text) > 0;
+}
+
 /// Cardinality the evaluator's molecule driver would enumerate for an
 /// unbound-variable base with these filters.
 double DriverCardinality(const std::vector<Filter>& filters,
                          const std::set<std::string>& bound,
-                         const ObjectStore& store) {
+                         const ObjectStore& store, const PlannerHints* hints) {
   auto resolvable = [&](const RefPtr& m) -> std::optional<Oid> {
     const Ref& d = Deref(*m);
     if (d.kind == RefKind::kName) return ResolveName(d, store);
@@ -58,6 +66,11 @@ double DriverCardinality(const std::vector<Filter>& filters,
       if (std::optional<Oid> c = resolvable(f.value)) {
         consider(static_cast<double>(store.Members(*c).size()));
       }
+      continue;
+    }
+    if (HintedEmpty(hints, *f.method)) {
+      // Provably empty: the driver enumerates nothing.
+      consider(0.0);
       continue;
     }
     std::optional<Oid> m = resolvable(f.method);
@@ -101,7 +114,7 @@ double DriverCardinality(const std::vector<Filter>& filters,
 /// Cost of evaluating `t`'s anchor (its leftmost primary) and walking
 /// outward.
 double AnchorCost(const Ref& t, const std::set<std::string>& bound,
-                  const ObjectStore& store) {
+                  const ObjectStore& store, const PlannerHints* hints) {
   const Ref& d = Deref(t);
   switch (d.kind) {
     case RefKind::kName:
@@ -114,6 +127,7 @@ double AnchorCost(const Ref& t, const std::set<std::string>& bound,
       // A path over an unbound variable is driven by the method extent.
       const Ref& base = Deref(*d.base);
       if (base.kind == RefKind::kVar && !bound.count(base.text)) {
+        if (HintedEmpty(hints, *d.method)) return 0.0;
         const Ref& m = Deref(*d.method);
         if (m.kind == RefKind::kName) {
           if (std::optional<Oid> mo = ResolveName(m, store)) {
@@ -125,14 +139,14 @@ double AnchorCost(const Ref& t, const std::set<std::string>& bound,
         }
         return static_cast<double>(store.UniverseSize());
       }
-      return AnchorCost(*d.base, bound, store) + 1.0;
+      return AnchorCost(*d.base, bound, store, hints) + 1.0;
     }
     case RefKind::kMolecule: {
       const Ref& base = Deref(*d.base);
       if (base.kind == RefKind::kVar && !bound.count(base.text)) {
-        return DriverCardinality(d.filters, bound, store);
+        return DriverCardinality(d.filters, bound, store, hints);
       }
-      return AnchorCost(*d.base, bound, store) + 1.0;
+      return AnchorCost(*d.base, bound, store, hints) + 1.0;
     }
     case RefKind::kParen:
       break;  // stripped above
@@ -143,13 +157,15 @@ double AnchorCost(const Ref& t, const std::set<std::string>& bound,
 }  // namespace
 
 double EstimateLiteralCost(const Ref& t, const std::set<std::string>& bound,
-                           const ObjectStore& store) {
-  return AnchorCost(t, bound, store);
+                           const ObjectStore& store,
+                           const PlannerHints* hints) {
+  return AnchorCost(t, bound, store, hints);
 }
 
 Status PlanConjunction(std::vector<Literal>* body, const ObjectStore& store,
                        std::vector<std::string>* cost_log,
-                       std::vector<double>* estimates) {
+                       std::vector<double>* estimates,
+                       const PlannerHints* hints) {
   std::vector<Literal> remaining = std::move(*body);
   std::vector<Literal> ordered;
   std::set<std::string> bound;
@@ -180,8 +196,9 @@ Status PlanConjunction(std::vector<Literal>* body, const ObjectStore& store,
       if (!admissible(remaining[i])) continue;
       // Negated literals are pure tests: defer them until every
       // positive literal of equal or lower cost has bound variables.
-      double cost = EstimateLiteralCost(*remaining[i].ref, bound, store) +
-                    (remaining[i].negated ? 0.5 : 0.0);
+      double cost =
+          EstimateLiteralCost(*remaining[i].ref, bound, store, hints) +
+          (remaining[i].negated ? 0.5 : 0.0);
       if (best == remaining.size() || cost < best_cost) {
         best = i;
         best_cost = cost;

@@ -20,12 +20,25 @@
 
 namespace pathlog {
 
+/// Facts the semantic analyses (lint/dataflow/analyses.h) proved about
+/// the installed program, consulted by the planner when provided.
+/// Optional everywhere: a null hints pointer keeps the estimates
+/// purely statistical.
+struct PlannerHints {
+  /// Methods that provably never hold a tuple under any evaluation
+  /// strategy (AnalysisSummary::empty_methods). A literal driven by
+  /// one enumerates nothing, so it costs nothing and short-circuits
+  /// its conjunction.
+  std::set<std::string> empty_methods;
+};
+
 /// Estimated number of candidate bindings the evaluator must try for
 /// `t` given the already-bound variables: 1 for a bound anchor, the
 /// extent/entry count for an index-driven anchor, the universe size
 /// for an undriven variable.
 double EstimateLiteralCost(const Ref& t, const std::set<std::string>& bound,
-                           const ObjectStore& store);
+                           const ObjectStore& store,
+                           const PlannerHints* hints = nullptr);
 
 /// Reorders `body` greedily by cost subject to safety. On success the
 /// body is in execution order; kUnsafeRule when no safe order exists.
@@ -35,7 +48,8 @@ double EstimateLiteralCost(const Ref& t, const std::set<std::string>& bound,
 /// order (for the profiler's estimate-vs-actual record).
 Status PlanConjunction(std::vector<Literal>* body, const ObjectStore& store,
                        std::vector<std::string>* cost_log = nullptr,
-                       std::vector<double>* estimates = nullptr);
+                       std::vector<double>* estimates = nullptr,
+                       const PlannerHints* hints = nullptr);
 
 }  // namespace pathlog
 

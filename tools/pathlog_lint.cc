@@ -1,10 +1,16 @@
 // pathlog_lint: command-line front end for the PathLog linter.
 //
-//   pathlog_lint [--json] FILE...
+//   pathlog_lint [--json] [--analyze] [--skolemize] [--errors-only] FILE...
 //
 // Lints each file independently and prints the diagnostics, human
 // readable by default ("file:line:col: severity[PLxxx]: message") or
 // one JSON object per file with --json.
+//
+// --analyze additionally runs the semantic dataflow analyses
+// (PL014-PL019): sort inference, contradiction detection, fixpoint
+// reachability, termination of object invention, and binding-mode
+// (adornment) analysis. The extra diagnostics ride in the same report,
+// so --json output needs no new shape.
 //
 // Exit status: 0 when every file is clean, 1 when any file produced a
 // diagnostic (warning or error), 2 on usage or I/O errors.
@@ -21,10 +27,16 @@
 namespace {
 
 int Usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " [--json] FILE...\n"
-            << "Static analysis for PathLog programs.\n"
-            << "  --json   one JSON report object per file, one per line\n"
-            << "exit status: 0 clean, 1 diagnostics found, 2 usage/IO error\n";
+  std::cerr
+      << "usage: " << argv0
+      << " [--json] [--analyze] [--skolemize] [--errors-only] FILE...\n"
+      << "Static analysis for PathLog programs.\n"
+      << "  --json         one JSON report object per file, one per line\n"
+      << "  --analyze      run the semantic dataflow analyses (PL014-PL019)\n"
+      << "  --skolemize    assume skolemizing head-value mode (more\n"
+      << "                 invention sites)\n"
+      << "  --errors-only  suppress warning-severity diagnostics\n"
+      << "exit status: 0 clean, 1 diagnostics found, 2 usage/IO error\n";
   return 2;
 }
 
@@ -32,11 +44,18 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  pathlog::LintOptions options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--analyze") {
+      options.analyze = true;
+    } else if (arg == "--skolemize") {
+      options.head_value_mode = pathlog::HeadValueMode::kSkolemize;
+    } else if (arg == "--errors-only") {
+      options.errors_only = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -49,7 +68,7 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) return Usage(argv[0]);
 
-  pathlog::ProgramLinter linter;
+  pathlog::ProgramLinter linter(options);
   bool any_findings = false;
   for (const std::string& file : files) {
     std::ifstream in(file);

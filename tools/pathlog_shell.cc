@@ -41,7 +41,8 @@ constexpr const char* kHelp = R"(PathLog shell commands:
   \facts [n]        show the first n facts (default 20)
   \rules            show the loaded rules
   \explain <gen>    provenance of the fact with generation <gen>
-  \lint [file]      lint the loaded program, or a .plg file (:lint works too)
+  \lint [file]      lint the loaded program, or a .plg file, with the
+                    semantic analyses (PL014-PL019) enabled (:lint works too)
   \dump <file>      write all facts as a loadable program
   \save <file>      save a binary snapshot (facts, rules, signatures)
   \restore <file>   replace the session with a saved snapshot
@@ -286,8 +287,13 @@ class Shell {
         }
         std::stringstream buffer;
         buffer << in.rdbuf();
+        // File lints get the semantic analyses too, matching
+        // Database::Lint() for the session form.
+        pathlog::LintOptions lint_options;
+        lint_options.analyze = true;
         pathlog::LintReport report =
-            pathlog::ProgramLinter().LintSource(buffer.str());
+            pathlog::ProgramLinter(std::move(lint_options))
+                .LintSource(buffer.str());
         printf("%s", report.ToString(path).c_str());
         if (report.empty()) {
           printf("%s: clean\n", path.c_str());
