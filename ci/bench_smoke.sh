@@ -17,7 +17,8 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target bench_nested_refs bench_second_dimension bench_store bench_tc
+  --target bench_nested_refs bench_second_dimension bench_store bench_tc \
+  bench_planner
 
 mkdir -p "${OUT_DIR}"
 
@@ -87,6 +88,56 @@ if on > off * 1.05:
     sys.exit("obs gate FAILED: enabling metrics costs >5% — "
              "instrumentation has crept into the evaluation hot loop")
 EOF
+
+# Planner skew gate: the SkewAware/SkewBlind twins evaluate the same
+# hot-bucket query in the order each statistics mode picks. The
+# skew-aware plan drives the small resident extent instead of the hot
+# city bucket, so it must never be slower than the skew-blind plan;
+# both twins abort the binary if their answer counts diverge, so a
+# clean exit doubles as a correctness probe.
+"${BUILD_DIR}/bench/bench_planner" \
+  --benchmark_filter='SkewAware|SkewBlind' \
+  --benchmark_min_time=0.05 \
+  --benchmark_repetitions=3 \
+  --benchmark_out="${OUT_DIR}/BENCH_planner.json" \
+  --benchmark_out_format=json
+
+python3 - "${OUT_DIR}/BENCH_planner.json" <<'EOF3'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# Best-of-repetitions per (twin, scale): min-of-N sheds scheduler
+# noise. The skew-aware order must be at least as fast as the
+# skew-blind one at every scale (10% head-room for timer jitter).
+best = {}
+for b in data["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    name = b["name"].split("/")  # BM_Planner_SkewAware/2000[/repeat]
+    key = (name[0], name[1])
+    best[key] = min(best.get(key, float("inf")), b["cpu_time"])
+
+scales = sorted({k[1] for k in best}, key=int)
+if not scales:
+    sys.exit("planner skew gate: no SkewAware/SkewBlind rows found")
+failed = False
+for scale in scales:
+    aware = best.get(("BM_Planner_SkewAware", scale))
+    blind = best.get(("BM_Planner_SkewBlind", scale))
+    if aware is None or blind is None:
+        sys.exit(f"planner skew gate: missing twin at scale {scale}")
+    ratio = aware / blind if blind > 0 else float("inf")
+    print(f"planner skew gate: scale {scale}: aware best {aware:.0f}, "
+          f"blind best {blind:.0f}, aware/blind {ratio:.3f}")
+    if aware > blind * 1.10:
+        failed = True
+if failed:
+    sys.exit("planner skew gate FAILED: the skew-aware plan is slower "
+             "than the skew-blind plan on the hot-bucket workload — "
+             "the heavy-hitter statistics are misleading the planner")
+EOF3
 
 # Build-type gate: every BENCH_*.json must carry the
 # pathlog_build_type custom context key (stamped by bench/bench_main.cc

@@ -25,7 +25,7 @@ void Profiler::RecordRuleEvaluation(std::string_view rule, uint64_t wall_ns,
 }
 
 void Profiler::RecordDriverLiteral(std::string_view literal, double estimated,
-                                   uint64_t actual) {
+                                   uint64_t actual, uint64_t invocations) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = literals_.find(literal);
   if (it == literals_.end()) {
@@ -37,6 +37,7 @@ void Profiler::RecordDriverLiteral(std::string_view literal, double estimated,
   ++p.queries;
   p.estimated += estimated;
   p.actual += actual;
+  p.invocations += invocations;
 }
 
 void Profiler::RecordRoutes(const RouteTotals& delta) {
@@ -109,13 +110,15 @@ std::string Profiler::Report() const {
                 " universe scans, ", r.duplicates_suppressed,
                 " duplicates suppressed\n");
   if (!literals.empty()) {
-    out += "driver literals (planner estimate vs actual solutions):\n";
-    out += "     queries  estimated     actual  literal\n";
+    out += "driver literals (planner estimate vs actual solutions; "
+           "act/inv is per outer tuple, the estimate's unit):\n";
+    out += "     queries  estimated     actual    act/inv  literal\n";
     for (const LiteralProfile& p : literals) {
-      char line[96];
-      std::snprintf(line, sizeof(line), "  %10llu %10.1f %10llu  ",
+      char line[112];
+      std::snprintf(line, sizeof(line), "  %10llu %10.1f %10llu %10.1f  ",
                     static_cast<unsigned long long>(p.queries), p.estimated,
-                    static_cast<unsigned long long>(p.actual));
+                    static_cast<unsigned long long>(p.actual),
+                    p.ActualPerInvocation());
       out += line;
       out += p.literal;
       out += "\n";

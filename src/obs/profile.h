@@ -35,13 +35,27 @@ class Profiler {
 
   /// One planned driver literal's estimate-vs-actual record. `actual`
   /// is the number of solutions the literal produced across the
-  /// queries that planned it; `estimated` accumulates the planner's
-  /// per-query estimate so est/actual stay comparable per occurrence.
+  /// queries that planned it and `invocations` how many outer binding
+  /// tuples entered it, so actual / invocations is the observed
+  /// per-probe cardinality — the quantity `estimated` (the planner's
+  /// per-probe driver cardinality, summed per query) predicts. A
+  /// literal that runs first in its plan has one invocation per query;
+  /// a later literal is re-entered once per surviving outer tuple.
   struct LiteralProfile {
     std::string literal;        ///< printed form
     uint64_t queries = 0;       ///< times this literal was planned
     double estimated = 0;       ///< summed planner estimates
     uint64_t actual = 0;        ///< summed produced solution count
+    uint64_t invocations = 0;   ///< summed outer tuples entering it
+
+    /// Observed per-probe cardinality, the number `estimated` (divided
+    /// by `queries`) should match: actual / invocations.
+    double ActualPerInvocation() const {
+      return invocations == 0
+                 ? 0.0
+                 : static_cast<double>(actual) /
+                       static_cast<double>(invocations);
+    }
   };
 
   /// How path matching and molecule driving reached the store.
@@ -59,7 +73,7 @@ class Profiler {
   void RecordRuleEvaluation(std::string_view rule, uint64_t wall_ns,
                             uint64_t delta_passes, uint64_t derivations);
   void RecordDriverLiteral(std::string_view literal, double estimated,
-                           uint64_t actual);
+                           uint64_t actual, uint64_t invocations = 1);
   void RecordRoutes(const RouteTotals& delta);
 
   /// Rules with nonzero evaluations, sorted by cumulative wall time,

@@ -276,7 +276,8 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
   std::vector<double> estimates;
   PATHLOG_RETURN_IF_ERROR(PlanConjunction(
       &body, store_, nullptr, profiler != nullptr ? &estimates : nullptr,
-      options_.use_analysis_hints ? &planner_hints_ : nullptr));
+      options_.use_analysis_hints ? &planner_hints_ : nullptr,
+      options_.engine.planner_stats));
   // Queries intern names; recovery replays oids densely, so even
   // fact-free universe growth must reach the log.
   PATHLOG_RETURN_IF_ERROR(CommitDurable());
@@ -287,9 +288,12 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
   SemanticStructure I(store_);
   RefEvaluator eval(I, options_.engine.use_inverted_indexes);
   Bindings b;
-  // Per-literal solution production, recorded against the planner's
-  // estimates (profiler only).
+  // Per-literal solution production and entry counts, recorded against
+  // the planner's estimates (profiler only). `entered[i]` counts the
+  // outer binding tuples that reached literal i, so produced/entered
+  // is the observed per-probe cardinality the estimate predicts.
   std::vector<uint64_t> produced(profiler != nullptr ? body.size() : 0, 0);
+  std::vector<uint64_t> entered(profiler != nullptr ? body.size() : 0, 0);
   std::function<Result<bool>(size_t)> go = [&](size_t i) -> Result<bool> {
     if (i == body.size()) {
       std::vector<Oid> row;
@@ -307,6 +311,7 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
       return true;
     }
     const Literal& lit = body[i];
+    if (profiler != nullptr) ++entered[i];
     if (lit.negated) {
       Result<bool> sat = eval.Satisfiable(*lit.ref, &b);
       if (!sat.ok()) return sat.status();
@@ -327,7 +332,7 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
       if (body[i].negated) continue;
       profiler->RecordDriverLiteral(ToString(body[i]),
                                     i < estimates.size() ? estimates[i] : 0,
-                                    produced[i]);
+                                    produced[i], entered[i]);
     }
     Profiler::RouteTotals routes;
     routes.inverted_probes = eval.inverted_probes();
@@ -366,12 +371,19 @@ Result<std::string> Database::ExplainQuery(std::string_view query_text) {
   std::vector<std::string> log;
   PATHLOG_RETURN_IF_ERROR(PlanConjunction(
       &body, store_, &log, nullptr,
-      options_.use_analysis_hints ? &planner_hints_ : nullptr));
+      options_.use_analysis_hints ? &planner_hints_ : nullptr,
+      options_.engine.planner_stats));
   PATHLOG_RETURN_IF_ERROR(CommitDurable());
   std::string out = "plan:\n";
   for (size_t i = 0; i < log.size(); ++i) {
     out += StrCat("  ", i + 1, ". ", log[i], "\n");
   }
+  out += StrCat("planner statistics: ",
+                options_.engine.planner_stats == PlannerStatsMode::kSkewAware
+                    ? "skew-aware (top-k heavy-hitter buckets, "
+                      "residual-average floor)"
+                    : "average bucket (skew-blind)",
+                "\n");
   return out;
 }
 

@@ -20,6 +20,10 @@
 
 namespace pathlog {
 
+// PlannerStatsMode (the runtime-bound estimator toggle) lives in
+// store/method_stats.h next to the statistics it selects between, so
+// EngineOptions can carry it without a header cycle.
+
 /// Facts the semantic analyses (lint/dataflow/analyses.h) proved about
 /// the installed program, consulted by the planner when provided.
 /// Optional everywhere: a null hints pointer keeps the estimates
@@ -38,7 +42,9 @@ struct PlannerHints {
 /// for an undriven variable.
 double EstimateLiteralCost(const Ref& t, const std::set<std::string>& bound,
                            const ObjectStore& store,
-                           const PlannerHints* hints = nullptr);
+                           const PlannerHints* hints = nullptr,
+                           PlannerStatsMode stats_mode =
+                               PlannerStatsMode::kSkewAware);
 
 /// Reorders `body` greedily by cost subject to safety. On success the
 /// body is in execution order; kUnsafeRule when no safe order exists.
@@ -49,7 +55,9 @@ double EstimateLiteralCost(const Ref& t, const std::set<std::string>& bound,
 Status PlanConjunction(std::vector<Literal>* body, const ObjectStore& store,
                        std::vector<std::string>* cost_log = nullptr,
                        std::vector<double>* estimates = nullptr,
-                       const PlannerHints* hints = nullptr);
+                       const PlannerHints* hints = nullptr,
+                       PlannerStatsMode stats_mode =
+                           PlannerStatsMode::kSkewAware);
 
 }  // namespace pathlog
 

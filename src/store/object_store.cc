@@ -204,7 +204,10 @@ Status ObjectStore::SetScalar(Oid m, Oid recv, const std::vector<Oid>& args,
   t.entries.push_back(ScalarEntry{recv, args, value, log_.size()});
   t.index.emplace(std::move(key), idx);
   t.by_recv[recv].push_back(idx);
-  t.by_value[value].push_back(idx);
+  std::vector<uint32_t>& bucket = t.by_value[value];
+  bucket.push_back(idx);
+  t.stats.Update(value, bucket.size(), /*is_new_value=*/bucket.size() == 1,
+                 log_.size());
   log_.push_back(Fact{FactKind::kScalar, m, recv, args, value});
   if (metrics_.scalar_facts != nullptr) metrics_.scalar_facts->Inc();
   return Status::OK();
@@ -245,6 +248,12 @@ size_t ObjectStore::ScalarDistinctValues(Oid m) const {
   return mt == scalar_.end() ? 0 : mt->second.by_value.size();
 }
 
+const MethodStats& ObjectStore::ScalarValueStats(Oid m) const {
+  static const MethodStats kEmptyStats;
+  auto mt = scalar_.find(m);
+  return mt == scalar_.end() ? kEmptyStats : mt->second.stats;
+}
+
 std::vector<Oid> ObjectStore::ScalarMethods() const {
   std::vector<Oid> out;
   out.reserve(scalar_.size());
@@ -276,8 +285,10 @@ bool ObjectStore::AddSetMember(Oid m, Oid recv, const std::vector<Oid>& args,
   }
   SetGroup& g = t.groups[gi];
   if (!g.member_set.emplace(value, log_.size()).second) return false;
-  t.by_member[value].push_back(
-      SetMemberRef{gi, static_cast<uint32_t>(g.members.size())});
+  std::vector<SetMemberRef>& bucket = t.by_member[value];
+  bucket.push_back(SetMemberRef{gi, static_cast<uint32_t>(g.members.size())});
+  t.stats.Update(value, bucket.size(), /*is_new_value=*/bucket.size() == 1,
+                 log_.size());
   g.members.push_back(value);
   g.member_gens.push_back(log_.size());
   log_.push_back(Fact{FactKind::kSetMember, m, recv, args, value});
@@ -319,6 +330,12 @@ const std::vector<SetMemberRef>& ObjectStore::SetGroupsByMember(
 size_t ObjectStore::SetDistinctMembers(Oid m) const {
   auto mt = setval_.find(m);
   return mt == setval_.end() ? 0 : mt->second.by_member.size();
+}
+
+const MethodStats& ObjectStore::SetMemberStats(Oid m) const {
+  static const MethodStats kEmptyStats;
+  auto mt = setval_.find(m);
+  return mt == setval_.end() ? kEmptyStats : mt->second.stats;
 }
 
 std::vector<Oid> ObjectStore::SetMethods() const {

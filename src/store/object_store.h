@@ -43,6 +43,7 @@
 #include "base/result.h"
 #include "base/status.h"
 #include "store/fact.h"
+#include "store/method_stats.h"
 #include "store/oid.h"
 
 namespace pathlog {
@@ -202,11 +203,21 @@ class ObjectStore {
   /// preserved within each bucket.
   const std::vector<uint32_t>& ScalarEntriesByValue(Oid m, Oid value) const;
 
-  /// Number of distinct values among the facts of scalar method m
-  /// (the inverted index's bucket count; used by the planner to
-  /// estimate the average bucket size when a value is bound only at
-  /// runtime).
+  /// Number of distinct values among the facts of scalar method m (the
+  /// inverted index's bucket count). The planner's runtime-bound
+  /// estimate is skew-aware (ScalarValueStats + SkewAwareBucketEstimate:
+  /// upper quantile of the exact top-k heavy hitters, floored by the
+  /// residual-mass average); this raw count backs the legacy
+  /// average-bucket fallback kept for differential testing
+  /// (PlannerStatsMode::kAverageBucket).
   size_t ScalarDistinctValues(Oid m) const;
+
+  /// Incrementally-maintained statistics over m's inverted value
+  /// index: total/distinct counters, exact top-k heavy-hitter buckets,
+  /// and the generation of the last updating fact. Rebuilt on
+  /// snapshot/WAL replay exactly like the index itself (replay re-runs
+  /// SetScalar).
+  const MethodStats& ScalarValueStats(Oid m) const;
 
   /// All methods with at least one scalar fact.
   std::vector<Oid> ScalarMethods() const;
@@ -236,6 +247,10 @@ class ObjectStore {
   /// Number of distinct members among the facts of set method m (the
   /// inverted index's bucket count).
   size_t SetDistinctMembers(Oid m) const;
+
+  /// Incrementally-maintained statistics over m's inverted member
+  /// index; the set-valued twin of ScalarValueStats.
+  const MethodStats& SetMemberStats(Oid m) const;
 
   /// All methods with at least one set-valued fact.
   std::vector<Oid> SetMethods() const;
@@ -283,6 +298,8 @@ class ObjectStore {
     std::unordered_map<Oid, std::vector<uint32_t>> by_recv;
     /// Inverted index: value -> entry indexes, in insertion order.
     std::unordered_map<Oid, std::vector<uint32_t>> by_value;
+    /// Counters + exact top-k heavy hitters over by_value.
+    MethodStats stats;
   };
 
   struct SetTable {
@@ -291,6 +308,8 @@ class ObjectStore {
     std::unordered_map<Oid, std::vector<uint32_t>> by_recv;
     /// Inverted index: member -> membership facts, in insertion order.
     std::unordered_map<Oid, std::vector<SetMemberRef>> by_member;
+    /// Counters + exact top-k heavy hitters over by_member.
+    MethodStats stats;
   };
 
   Oid AddObject(ObjectInfo info);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ast/analysis.h"
 #include "ast/printer.h"
 #include "base/strings.h"
 #include "obs/profile.h"
@@ -113,16 +114,19 @@ TEST_F(PlannerTest, PlansProduceSameAnswersAsAnyOrder) {
   EXPECT_EQ(a->size(), 10u);
 }
 
-// KNOWN GAP: DriverCardinality estimates a runtime-bound scalar value
-// with the *average* inverted-index bucket (entries / distinct
-// values), which is blind to skew. With one hot value holding nearly
-// every entry, the average undersells the real bucket enough to
-// misrank access paths: here the planner drives `Y[city->C]`
-// (estimate 50) ahead of the `Y:resident` extent (60 members) even
-// though the hot bucket actually yields 99 rows. A histogram- or
-// top-k-aware estimator would fix the ranking; until then the
-// profiler's estimate-vs-actual table is how the misrank is seen.
-TEST(PlannerSkewTest, AverageBucketEstimateMisranksSkewedValues) {
+// FIXED (was the pinned "known gap"): DriverCardinality used to
+// estimate a runtime-bound scalar value with the *average*
+// inverted-index bucket (entries / distinct values), blind to skew:
+// with one hot value holding 99 of 100 entries the average (50)
+// undersold the real bucket enough to drive `Y[city->C]` ahead of the
+// smaller `Y:resident` extent (60). The store now keeps exact top-k
+// heavy-hitter statistics per method and the planner prices a
+// runtime-bound probe at the upper quantile of those buckets, so the
+// extent drives first and every estimate lands within 2x of the
+// observed per-probe cardinality. The skew-blind estimator survives
+// behind PlannerStatsMode::kAverageBucket and still reproduces the
+// historical misrank, byte for byte.
+TEST(PlannerSkewTest, SkewStatisticsRankTheExtentBeforeTheHotBucket) {
   Database db;
   Profiler profiler;
   ObsSinks sinks;
@@ -137,9 +141,9 @@ TEST(PlannerSkewTest, AverageBucketEstimateMisranksSkewedValues) {
   }
   ASSERT_TRUE(db.Load(program).ok());
 
-  // Plan order: hub[site->C] binds C, then the planner compares
-  // Y[city->C] (average bucket: 100 entries / 2 values = 50) against
-  // Y:resident (extent 60) and picks the skew-blind estimate.
+  // Skew-aware (default) plan: hub[site->C] binds C, then Y[city->C]
+  // is priced at the hot bucket (99), so the Y:resident extent (60)
+  // drives and the city probe degrades to a per-tuple check.
   Result<struct Query> q =
       ParseQuery("?- hub[site->C], Y[city->C], Y:resident.");
   ASSERT_TRUE(q.ok()) << q.status();
@@ -148,26 +152,171 @@ TEST(PlannerSkewTest, AverageBucketEstimateMisranksSkewedValues) {
   ASSERT_TRUE(
       PlanConjunction(&body, db.store(), nullptr, &estimates).ok());
   ASSERT_EQ(body.size(), 3u);
-  EXPECT_EQ(ToString(*body[1].ref), "Y[city->C]");
-  EXPECT_EQ(ToString(*body[2].ref), "Y:resident");
-  EXPECT_DOUBLE_EQ(estimates[1], 50.0);
+  EXPECT_EQ(ToString(*body[0].ref), "hub[site->C]");
+  EXPECT_EQ(ToString(*body[1].ref), "Y:resident");
+  EXPECT_EQ(ToString(*body[2].ref), "Y[city->C]");
+  EXPECT_DOUBLE_EQ(estimates[1], 60.0);
 
-  // Run it with the profiler attached: the hot bucket's actual
-  // cardinality (99) dwarfs the estimate and exceeds the extent the
-  // planner passed over — the documented misranking, made visible.
+  // The skew-blind estimator is still selectable and still misranks:
+  // the average bucket (100 / 2 = 50) undercuts the extent.
+  std::vector<Literal> blind = q->body;
+  std::vector<double> blind_estimates;
+  ASSERT_TRUE(PlanConjunction(&blind, db.store(), nullptr, &blind_estimates,
+                              nullptr, PlannerStatsMode::kAverageBucket)
+                  .ok());
+  ASSERT_EQ(blind.size(), 3u);
+  EXPECT_EQ(ToString(*blind[1].ref), "Y[city->C]");
+  EXPECT_EQ(ToString(*blind[2].ref), "Y:resident");
+  EXPECT_DOUBLE_EQ(blind_estimates[1], 50.0);
+
+  // Run the query with the profiler attached: the answers are the
+  // same as ever (60 residents of the hot metro), and the profiler's
+  // estimate-vs-actual table — the oracle that used to expose the
+  // misrank — now shows every literal's estimate within 2x of its
+  // observed per-probe cardinality.
   Result<ResultSet> rs = db.Query("?- hub[site->C], Y[city->C], Y:resident.");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->size(), 60u);
-  bool found = false;
-  for (const Profiler::LiteralProfile& l : profiler.LiteralProfiles()) {
+  std::vector<Profiler::LiteralProfile> lits = profiler.LiteralProfiles();
+  ASSERT_EQ(lits.size(), 3u) << db.ProfileReport();
+  for (const Profiler::LiteralProfile& l : lits) {
+    ASSERT_GT(l.invocations, 0u) << l.literal;
+    double actual_per_probe = l.ActualPerInvocation();
+    EXPECT_LE(l.estimated, std::max(actual_per_probe, 1.0) * 2.0)
+        << l.literal << "\n" << db.ProfileReport();
+    EXPECT_GE(l.estimated * 2.0, actual_per_probe)
+        << l.literal << "\n" << db.ProfileReport();
+  }
+  for (const Profiler::LiteralProfile& l : lits) {
+    if (l.literal == "Y:resident") {
+      EXPECT_DOUBLE_EQ(l.estimated, 60.0);
+      EXPECT_EQ(l.actual, 60u);
+      EXPECT_EQ(l.invocations, 1u);
+    }
     if (l.literal == "Y[city->C]") {
-      found = true;
-      EXPECT_DOUBLE_EQ(l.estimated, 50.0);
-      EXPECT_EQ(l.actual, 99u);
-      EXPECT_GT(static_cast<double>(l.actual), l.estimated * 1.9);
+      // Re-entered once per resident; each probe is a bound check.
+      EXPECT_EQ(l.invocations, 60u);
+      EXPECT_EQ(l.actual, 60u);
     }
   }
-  EXPECT_TRUE(found) << db.ProfileReport();
+}
+
+// The set-valued twin: a runtime-bound member used to have *no*
+// runtime-bound estimate at all — it fell through to the full
+// SetGroups(m) count, so a cheap one-bucket probe was priced as a
+// whole-method scan and the planner drove a larger class extent
+// instead. With per-member heavy-hitter stats the probe is priced at
+// its hot bucket, which here beats the extent.
+TEST(PlannerSkewTest, SetMemberStatisticsPriceTheProbeNotTheScan) {
+  Database db;
+  std::string program = "hub[site->metro].\n";
+  // 40 groups contain the hot member; 160 more groups hold unique
+  // members, so the method has 200 groups and 161 distinct members.
+  for (int i = 0; i < 40; ++i) {
+    program += StrCat("g", i, "[likes->>{metro}].\n");
+    program += StrCat("g", i, " : resident.\n");
+  }
+  for (int i = 0; i < 160; ++i) {
+    program += StrCat("h", i, "[likes->>{v", i, "}].\n");
+  }
+  for (int i = 0; i < 60; ++i) {
+    program += StrCat("h", i, " : resident.\n");
+  }
+  ASSERT_TRUE(db.Load(program).ok());
+
+  Result<struct Query> q =
+      ParseQuery("?- hub[site->C], Y[likes->>{C}], Y:resident.");
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  // Skew-aware: the member probe is priced at the heaviest bucket
+  // (40), beating the resident extent (100), so it drives.
+  std::vector<Literal> body = q->body;
+  std::vector<double> estimates;
+  ASSERT_TRUE(
+      PlanConjunction(&body, db.store(), nullptr, &estimates).ok());
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(ToString(*body[1].ref), "Y[likes->>{C}]");
+  EXPECT_EQ(ToString(*body[2].ref), "Y:resident");
+  EXPECT_DOUBLE_EQ(estimates[1], 40.0);
+
+  // Skew-blind (historical behaviour): no runtime-bound member
+  // estimate, the literal costs the full 200-group scan, and the
+  // planner drives the 100-member extent instead.
+  std::vector<Literal> blind = q->body;
+  std::vector<double> blind_estimates;
+  ASSERT_TRUE(PlanConjunction(&blind, db.store(), nullptr, &blind_estimates,
+                              nullptr, PlannerStatsMode::kAverageBucket)
+                  .ok());
+  ASSERT_EQ(blind.size(), 3u);
+  EXPECT_EQ(ToString(*blind[1].ref), "Y:resident");
+  EXPECT_EQ(ToString(*blind[2].ref), "Y[likes->>{C}]");
+  EXPECT_DOUBLE_EQ(blind_estimates[1], 100.0);
+  // Once Y is bound by the extent, the set literal is a bound check.
+  EXPECT_DOUBLE_EQ(blind_estimates[2], 2.0);
+
+  // Either plan answers identically: the 40 metro-liking residents.
+  Result<ResultSet> rs =
+      db.Query("?- hub[site->C], Y[likes->>{C}], Y:resident.");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->size(), 40u);
+}
+
+TEST_F(PlannerTest, EstimatesAlignWithThePostReorderBody) {
+  // Regression: the `estimates` out-param (and the cost log) must be
+  // reported in *post-reorder* literal order — the order the body is
+  // returned in and the order RunQuery executes — not in the order the
+  // query was written. Write the body backwards so any source-order
+  // reporting misaligns every entry.
+  Result<struct Query> q =
+      ParseQuery("?- Y:employee, X[age->A], X:manager.");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<Literal> body = q->body;
+  std::vector<std::string> cost_log;
+  std::vector<double> estimates;
+  ASSERT_TRUE(
+      PlanConjunction(&body, db_.store(), &cost_log, &estimates).ok());
+  ASSERT_EQ(body.size(), 3u);
+  ASSERT_EQ(estimates.size(), 3u);
+  ASSERT_EQ(cost_log.size(), 3u);
+  EXPECT_EQ(ToString(*body[0].ref), "X:manager");  // reordered
+
+  // Each estimate must be the cost of the literal *at that plan
+  // position*, under the bindings accumulated by the literals before
+  // it — recomputed independently here.
+  std::set<std::string> bound;
+  for (size_t i = 0; i < body.size(); ++i) {
+    EXPECT_DOUBLE_EQ(estimates[i],
+                     EstimateLiteralCost(*body[i].ref, bound, db_.store()))
+        << "plan position " << i << ": " << ToString(*body[i].ref);
+    EXPECT_NE(cost_log[i].find(ToString(body[i])), std::string::npos)
+        << "cost log line " << i << " is not the literal at plan position "
+        << i << ": " << cost_log[i];
+    if (!body[i].negated) {
+      for (const std::string& v : VarsOf(*body[i].ref)) bound.insert(v);
+    }
+  }
+
+  // And the profiler consumes the same alignment: each literal's
+  // recorded estimate equals the estimate at its plan position.
+  Profiler profiler;
+  ObsSinks sinks;
+  sinks.profiler = &profiler;
+  db_.SetObsSinks(sinks);
+  Result<ResultSet> rs = db_.Query("?- Y:employee, X[age->A], X:manager.");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  std::vector<Profiler::LiteralProfile> lits = profiler.LiteralProfiles();
+  ASSERT_EQ(lits.size(), 3u);
+  for (const Profiler::LiteralProfile& l : lits) {
+    bool matched = false;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (l.literal == ToString(body[i])) {
+        matched = true;
+        EXPECT_DOUBLE_EQ(l.estimated, estimates[i]) << l.literal;
+      }
+    }
+    EXPECT_TRUE(matched) << l.literal;
+  }
+  db_.SetObsSinks(ObsSinks{});
 }
 
 TEST_F(PlannerTest, ExplainQueryShowsOrderedPlan) {

@@ -87,6 +87,18 @@ TEST(ShellTest, CommandsWork) {
   EXPECT_NE(out.find("PathLog shell commands"), std::string::npos);
 }
 
+TEST(ShellTest, ExplainQueryPrintsThePlan) {
+  std::string out = RunShell(
+      "mary : employee[age->30].\n"
+      "\\explain ?- X:employee[age->A].\n"
+      "\\explain nonsense\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("plan:"), std::string::npos);
+  EXPECT_NE(out.find("planner statistics: skew-aware"), std::string::npos);
+  EXPECT_NE(out.find("usage: \\explain <generation> | \\explain ?- <query>"),
+            std::string::npos);
+}
+
 TEST(ShellTest, SaveAndRestoreRoundTrip) {
   const std::string snap = ::testing::TempDir() + "/shell_session.snap";
   std::string out = RunShell(

@@ -255,6 +255,48 @@ TEST(SnapshotTest, RoundTripRebuildsInvertedIndexes) {
   }
 }
 
+TEST(SnapshotTest, RoundTripRebuildsMethodStatistics) {
+  // The planner's per-method statistics (counters + exact top-k heavy
+  // hitters, store/method_stats.h) are not serialized: replay re-runs
+  // the mutators, which must rebuild them equal to the incrementally
+  // maintained originals — including the generation stamps, since the
+  // fact log replays in order.
+  ObjectStore store;
+  CompanyConfig cfg;
+  cfg.num_employees = 60;
+  GenerateCompany(&store, cfg);
+  // Add deliberate skew on top of the generated workload so the heavy
+  // list is non-trivial in both index families.
+  Oid city = store.InternSymbol("city");
+  Oid likes = store.InternSymbol("likes");
+  Oid metro = store.InternSymbol("metro");
+  for (int i = 0; i < 25; ++i) {
+    Oid r = store.InternSymbol("skew" + std::to_string(i));
+    ASSERT_TRUE(store.SetScalar(city, r, {}, metro).ok());
+    ASSERT_TRUE(store.AddSetMember(likes, r, {}, metro));
+    // Repeats after the first three: duplicate memberships add no
+    // facts and must leave the stats untouched on both sides.
+    Oid v = store.InternSymbol("v" + std::to_string(i % 3));
+    store.AddSetMember(likes, metro, {}, v);
+  }
+
+  Result<ObjectStore> copy = DeserializeSnapshot(MustSerialize(store));
+  ASSERT_TRUE(copy.ok()) << copy.status();
+  for (Oid m : store.ScalarMethods()) {
+    EXPECT_TRUE(copy->ScalarValueStats(m) == store.ScalarValueStats(m))
+        << "scalar stats diverge for method " << store.DisplayName(m);
+  }
+  for (Oid m : store.SetMethods()) {
+    EXPECT_TRUE(copy->SetMemberStats(m) == store.SetMemberStats(m))
+        << "set stats diverge for method " << store.DisplayName(m);
+  }
+  // Spot-check the skewed method is actually exercising the sketch.
+  const MethodStats& sc = copy->ScalarValueStats(city);
+  ASSERT_FALSE(sc.heavy.empty());
+  EXPECT_EQ(sc.heavy[0].value, metro);
+  EXPECT_EQ(sc.heavy[0].count, 25u);
+}
+
 std::set<std::string> AllFacts(const ObjectStore& s) {
   std::set<std::string> out;
   for (uint64_t g = 0; g < s.generation(); ++g) {

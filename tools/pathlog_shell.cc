@@ -41,6 +41,8 @@ constexpr const char* kHelp = R"(PathLog shell commands:
   \facts [n]        show the first n facts (default 20)
   \rules            show the loaded rules
   \explain <gen>    provenance of the fact with generation <gen>
+  \explain ?- ...   the query's plan: literal order + cardinality
+                    estimates (skew-aware planner statistics)
   \lint [file]      lint the loaded program, or a .plg file, with the
                     semantic analyses (PL014-PL019) enabled (:lint works too)
   \dump <file>      write all facts as a loadable program
@@ -237,11 +239,25 @@ class Shell {
       }
       if (db_.rules().empty()) printf("  (no rules loaded)\n");
     } else if (cmd == "\\explain") {
-      uint64_t gen = 0;
-      if (iss >> gen) {
-        printf("%s\n", db_.ExplainFact(gen).c_str());
+      std::string rest;
+      std::getline(iss, rest);
+      const size_t start = rest.find_first_not_of(" \t");
+      rest = start == std::string::npos ? "" : rest.substr(start);
+      if (rest.rfind("?-", 0) == 0) {
+        // A query: show the planner's chosen literal order with its
+        // cardinality estimates (skew-aware statistics by default)
+        // instead of running it.
+        pathlog::Result<std::string> plan = db_.ExplainQuery(rest);
+        if (plan.ok()) {
+          printf("%s", plan->c_str());
+        } else {
+          printf("%s\n", plan.status().ToString().c_str());
+        }
+      } else if (!rest.empty() &&
+                 rest.find_first_not_of("0123456789") == std::string::npos) {
+        printf("%s\n", db_.ExplainFact(std::stoull(rest)).c_str());
       } else {
-        printf("usage: \\explain <generation>\n");
+        printf("usage: \\explain <generation> | \\explain ?- <query>\n");
       }
     } else if (cmd == "\\dump") {
       std::string path;
