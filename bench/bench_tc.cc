@@ -14,6 +14,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <ctime>
+
+#include "base/budget.h"
 #include "bench_util.h"
 #include "workload/kinship.h"
 
@@ -162,6 +165,115 @@ BENCHMARK(BM_Tc_Tree_ObsOff)->Arg(1000)->Unit(benchmark::kMillisecond);
 
 void BM_Tc_Tree_ObsOn(benchmark::State& state) { RunTcObs(state, true); }
 BENCHMARK(BM_Tc_Tree_ObsOn)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// Resource-budget overhead twins: the same materialisation with a
+// never-tripping ResourceBudget attached vs none. The budget is
+// polled per rule evaluation and every ~1k enumeration steps, never
+// per tuple, so ci/bench_smoke.sh holds the twins to the same 5%
+// agreement the obs twins get.
+void RunTcBudget(benchmark::State& state, bool budget_enabled) {
+  ResourceBudget budget(ResourceLimits{/*max_store_bytes=*/1ull << 40,
+                                       /*max_derivations=*/1ull << 40,
+                                       /*max_wall_ms=*/600'000});
+  for (auto _ : state) {
+    state.PauseTiming();
+    DatabaseOptions opts;
+    opts.engine.strategy = EvalStrategy::kSemiNaiveRules;
+    if (budget_enabled) opts.engine.budget = &budget;
+    Database db(opts);
+    BuildGraph(&db.store(), Shape::kTree, state.range(0));
+    bench::Check(db.Load(kDescRules), "load rules");
+    state.ResumeTiming();
+    bench::Check(db.Materialize(), "materialize");
+    benchmark::DoNotOptimize(db.engine_stats().derivations);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Engine_BudgetChecksOff(benchmark::State& state) {
+  RunTcBudget(state, false);
+}
+BENCHMARK(BM_Engine_BudgetChecksOff)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Engine_BudgetChecksOn(benchmark::State& state) {
+  RunTcBudget(state, true);
+}
+BENCHMARK(BM_Engine_BudgetChecksOn)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Paired overhead rows: the twins above report absolute times, but on
+// a shared CI core the machine's speed drifts faster than the twins
+// run, so two separately-timed blocks cannot resolve a 5% difference.
+// Each iteration here times the enabled and disabled variants
+// back-to-back in ABBA order (cancels linear drift) on the thread CPU
+// clock (ignores preemption), and exports the on/off ratio as a
+// counter — ci/bench_smoke.sh gates on the median ratio across
+// repetitions.
+double ThreadCpuMs() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+double TimedMaterializeMs(bool budget_on, ResourceBudget* budget,
+                          bool obs_on, int64_t n) {
+  DatabaseOptions opts;
+  opts.engine.strategy = EvalStrategy::kSemiNaiveRules;
+  if (budget_on) opts.engine.budget = budget;
+  Database db(opts);
+  if (obs_on) {
+    ObsSinks sinks;
+    sinks.metrics = &bench::BenchMetrics();
+    db.SetObsSinks(sinks);
+  }
+  BuildGraph(&db.store(), Shape::kTree, n);
+  bench::Check(db.Load(kDescRules), "load rules");
+  const double t0 = ThreadCpuMs();
+  bench::Check(db.Materialize(), "materialize");
+  const double ms = ThreadCpuMs() - t0;
+  benchmark::DoNotOptimize(db.engine_stats().derivations);
+  return ms;
+}
+
+void RunPaired(benchmark::State& state, bool budget_pair) {
+  ResourceBudget budget(ResourceLimits{/*max_store_bytes=*/1ull << 40,
+                                       /*max_derivations=*/1ull << 40,
+                                       /*max_wall_ms=*/600'000});
+  const int64_t n = state.range(0);
+  auto run = [&](bool on) {
+    return budget_pair ? TimedMaterializeMs(on, &budget, false, n)
+                       : TimedMaterializeMs(false, nullptr, on, n);
+  };
+  double off_ms = 0, on_ms = 0;
+  for (auto _ : state) {
+    off_ms += run(false);
+    on_ms += run(true);
+    on_ms += run(true);
+    off_ms += run(false);
+  }
+  const double sides = 2.0 * static_cast<double>(state.iterations());
+  state.counters["off_cpu_ms"] = off_ms / sides;
+  state.counters["on_cpu_ms"] = on_ms / sides;
+  state.counters["on_off_ratio"] = off_ms > 0 ? on_ms / off_ms : 0;
+}
+
+// Iterations are pinned (min_time would pick 1): a single ~20ms
+// materialisation still carries ~10% cache/TLB noise on a shared
+// core, so each repetition's ratio must average several pairs to be
+// worth gating on.
+void BM_Engine_BudgetChecksPaired(benchmark::State& state) {
+  RunPaired(state, /*budget_pair=*/true);
+}
+BENCHMARK(BM_Engine_BudgetChecksPaired)->Arg(1000)->Iterations(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Tree_ObsPaired(benchmark::State& state) {
+  RunPaired(state, /*budget_pair=*/false);
+}
+BENCHMARK(BM_Tc_Tree_ObsPaired)->Arg(1000)->Iterations(6)
+    ->Unit(benchmark::kMillisecond);
 
 // Querying the closure after materialisation: the paper's answer
 // lookup `peter..(kids.tc)` as a point query.

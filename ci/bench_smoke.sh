@@ -44,49 +44,80 @@ mkdir -p "${OUT_DIR}"
   --benchmark_out="${OUT_DIR}/BENCH_store.json" \
   --benchmark_out_format=json
 
-# Observability overhead gate: the ObsOn/ObsOff twins run the same
-# materialisation with the metrics registry attached vs detached. The
-# instrumentation is per-run (never per-tuple), so the two must agree
-# to within 5% on medians — a larger gap means obs crept into the hot
-# loop (or is accidentally always on). The enabled run also exports
-# its metrics registry as JSON next to the benchmark JSON.
+# Overhead gates: the ObsOn/ObsOff and BudgetChecksOn/Off twins run
+# the same materialisation with the metrics registry / a never-tripping
+# ResourceBudget attached vs detached, and report absolute times for
+# trend tracking. The 5% agreement gates run on the *Paired rows
+# instead: a shared CI core drifts faster than two separately-timed
+# twin blocks run, so only a paired measurement (both variants timed
+# back-to-back inside one iteration, ABBA order, thread-CPU clock)
+# can resolve 5% reliably. The enabled run also exports its metrics
+# registry as JSON next to the benchmark JSON.
 PATHLOG_METRICS_OUT="${OUT_DIR}/METRICS_tc.json" \
   "${BUILD_DIR}/bench/bench_tc" \
-  --benchmark_filter='ObsOn|ObsOff' \
+  --benchmark_filter='ObsOn|ObsOff|ObsPaired|BudgetChecks' \
   --benchmark_min_time=0.05 \
-  --benchmark_repetitions=5 \
+  --benchmark_repetitions=7 \
+  --benchmark_enable_random_interleaving=true \
   --benchmark_out="${OUT_DIR}/BENCH_tc.json" \
   --benchmark_out_format=json
 
 python3 -m json.tool "${OUT_DIR}/METRICS_tc.json" >/dev/null
 
+# Instrumentation is per-run (never per-tuple) and budget polls sit at
+# rule-evaluation boundaries (and every ~1k enumeration steps), so the
+# true overhead of either is far below 5%; the gates catch obs or
+# governance checks creeping into the evaluation hot loop, and a
+# disabled path that got *slower* than the enabled one (the fast path
+# is gone). The median paired ratio across repetitions sheds the
+# occasional preempted repetition that min-of-N absolute times cannot.
 python3 - "${OUT_DIR}/BENCH_tc.json" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
     data = json.load(f)
 
-# Compare best-of-repetitions CPU time: the two twins run identical
-# code apart from the metrics branch, so their best cases must agree;
-# min-of-N sheds scheduler and cold-start noise that medians keep.
+def iters(pred):
+    return [b for b in data["benchmarks"]
+            if b.get("run_type") == "iteration" and pred(b["name"])]
+
 def best(suffix):
-    times = [b["cpu_time"] for b in data["benchmarks"]
-             if b.get("run_type") == "iteration" and suffix in b["name"]]
+    times = [b["cpu_time"] for b in iters(lambda n: suffix in n)]
     if not times:
-        sys.exit(f"obs gate: no repetitions for {suffix} in {sys.argv[1]}")
+        sys.exit(f"overhead gate: no repetitions for {suffix} in "
+                 f"{sys.argv[1]}")
     return min(times)
 
-off = best("ObsOff")
-on = best("ObsOn")
-ratio = on / off if off > 0 else float("inf")
-print(f"obs gate: ObsOff best {off:.3f}, ObsOn best {on:.3f}, "
-      f"on/off ratio {ratio:.3f}")
-if off > on * 1.05:
-    sys.exit("obs gate FAILED: the obs-disabled path is >5% slower than "
-             "the enabled path — observability is not actually off")
-if on > off * 1.05:
-    sys.exit("obs gate FAILED: enabling metrics costs >5% — "
-             "instrumentation has crept into the evaluation hot loop")
+def paired_ratio(name):
+    ratios = sorted(b["on_off_ratio"]
+                    for b in iters(lambda n: name in n))
+    if not ratios:
+        sys.exit(f"overhead gate: no {name} rows in {sys.argv[1]}")
+    return ratios[len(ratios) // 2]
+
+# Twin bests are informational (absolute cost at a glance); the pass /
+# fail decision uses the drift-immune paired ratios only.
+for twin in ("ObsOff", "ObsOn", "BudgetChecksOff", "BudgetChecksOn"):
+    print(f"overhead gate: {twin} best {best(twin):.3f} ms cpu")
+
+failed = False
+for name, what, crept in (
+    ("ObsPaired", "obs",
+     "instrumentation has crept into the evaluation hot loop"),
+    ("BudgetChecksPaired", "budget",
+     "governance checks have crept into the evaluation hot loop"),
+):
+    ratio = paired_ratio(name)
+    print(f"overhead gate: {name} median on/off ratio {ratio:.3f}")
+    if ratio > 1.05:
+        print(f"overhead gate FAILED: enabling {what} costs >5% — {crept}")
+        failed = True
+    if ratio < 1 / 1.05:
+        print(f"overhead gate FAILED: the {what}-disabled path is >5% "
+              f"slower than the enabled path — the fast path is gone")
+        failed = True
+if failed:
+    sys.exit(1)
 EOF
 
 # Planner skew gate: the SkewAware/SkewBlind twins evaluate the same
@@ -99,6 +130,7 @@ EOF
   --benchmark_filter='SkewAware|SkewBlind' \
   --benchmark_min_time=0.05 \
   --benchmark_repetitions=3 \
+  --benchmark_enable_random_interleaving=true \
   --benchmark_out="${OUT_DIR}/BENCH_planner.json" \
   --benchmark_out_format=json
 

@@ -35,6 +35,12 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 "${BUILD_DIR}/tests/durability_test" \
   --gtest_filter='DurabilityTortureTest.*'
 
+# Same reasoning for the chaos harness: the scripted fault schedules
+# (transient retries, ENOSPC windows, degraded-mode entry/exit,
+# crash-mid-commit) are the gate for resource governance and degraded
+# serving, so run the whole binary by name under the sanitizers.
+"${BUILD_DIR}/tests/chaos_test"
+
 # Shipped programs must be lint-clean with the semantic analyses
 # (PL014-PL019) enabled: pathlog_lint exits 1 on any diagnostic,
 # warning or error, and that fails the gate.

@@ -56,9 +56,22 @@ Status TriggerEngine::AddTrigger(const TriggerRule& trigger) {
   return Status::OK();
 }
 
-Status TriggerEngine::RunRound(uint64_t from, HeadAsserter* asserter) {
+Status TriggerEngine::RunRound(uint64_t from, HeadAsserter* asserter,
+                               ResourceBudget* budget) {
+  // Names the cascade round in budget/deadline errors — the generic
+  // budget message alone does not say the trip happened in a trigger.
+  auto with_round = [&](Status st) -> Status {
+    if (st.ok()) return st;
+    return Status(st.code(), StrCat(st.message(), " during trigger round ",
+                                    stats_.rounds));
+  };
+  if (budget != nullptr) {
+    PATHLOG_RETURN_IF_ERROR(with_round(budget->CheckControl()));
+  }
+
   SemanticStructure I(*store_);
   RefEvaluator eval(I);
+  eval.set_budget(budget);
 
   // All firings of the round are collected first (the store must not
   // change under enumeration), deduplicated per (trigger, head
@@ -100,14 +113,23 @@ Status TriggerEngine::RunRound(uint64_t from, HeadAsserter* asserter) {
       return res;
     };
     Result<bool> r = go(0);
-    if (!r.ok()) return r.status();
+    // Budget trips surface here too (the evaluator polls while
+    // enumerating), so condition-evaluation errors need the round
+    // context as much as the explicit gates do.
+    if (!r.ok()) return with_round(r.status());
   }
 
+  // Enumeration is done; the budget gate sits *before* the assert loop
+  // so an over-budget round aborts with zero of its assertions applied.
+  if (budget != nullptr) {
+    PATHLOG_RETURN_IF_ERROR(with_round(budget->Check(store_->ApproxBytes())));
+  }
   for (const auto& [ti, bindings] : pending) {
     Bindings hb;
     for (const auto& [var, oid] : bindings) hb.Bind(var, oid);
     PATHLOG_RETURN_IF_ERROR(asserter->Assert(*planned_[ti].rule.head, &hb));
     ++stats_.firings;
+    if (budget != nullptr) budget->ChargeDerivations();
   }
   return Status::OK();
 }
@@ -116,6 +138,20 @@ Status TriggerEngine::Fire() {
   TraceSpan fire_span(options_.obs.tracer, "triggers.fire", "triggers");
   const TriggerStats before = stats_;
   const uint64_t start_facts = store_->generation();
+
+  // The governing budget: the caller's shared one, or a cascade-local
+  // deadline-only budget when just max_wall_ms is set.
+  ResourceBudget deadline_budget;
+  ResourceBudget* budget = options_.budget;
+  if (budget == nullptr && options_.max_wall_ms > 0) {
+    deadline_budget.set_limits(ResourceLimits{0, 0, options_.max_wall_ms});
+    if (options_.wall_clock) deadline_budget.set_clock(options_.wall_clock);
+    deadline_budget.Arm();
+    budget = &deadline_budget;
+  }
+  const uint64_t rejections_before =
+      budget != nullptr ? budget->rejections() : 0;
+
   Status st = [&]() -> Status {
     HeadAsserter asserter(store_, options_.head_value_mode);
     for (;;) {
@@ -127,10 +163,15 @@ Status TriggerEngine::Fire() {
                                         options_.max_cascade_rounds,
                                         " rounds"));
       }
-      watermark_ = end;
       TraceSpan round_span(options_.obs.tracer, "triggers.round", "triggers",
                            StrCat("{\"from\":", from, "}"));
-      PATHLOG_RETURN_IF_ERROR(RunRound(from, &asserter));
+      PATHLOG_RETURN_IF_ERROR(RunRound(from, &asserter, budget));
+      // The round's events are consumed only after every one of its
+      // assertions landed: an aborted round (deadline, budget, assert
+      // error) leaves the watermark at `from`, so a later Fire()
+      // replays the same events — assertion is idempotent — instead of
+      // silently dropping a half-processed round.
+      watermark_ = end;
       if (store_->FactCount() > options_.max_facts) {
         return ResourceExhausted(
             StrCat("trigger actions exceeded the fact budget (",
@@ -140,6 +181,10 @@ Status TriggerEngine::Fire() {
     return Status::OK();
   }();
   stats_.facts_added += store_->generation() - start_facts;
+  if (budget != nullptr) {
+    CountBudgetRejections(options_.obs.metrics,
+                          budget->rejections() - rejections_before);
+  }
   if (MetricsRegistry* m = options_.obs.metrics; m != nullptr) {
     auto bump = [&](const char* name, const char* help, uint64_t now_v,
                     uint64_t before_v) {

@@ -22,11 +22,13 @@
 #define PATHLOG_ACTIVE_TRIGGER_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "ast/program.h"
+#include "base/budget.h"
 #include "base/result.h"
 #include "eval/head_assert.h"
 #include "obs/obs.h"
@@ -40,6 +42,23 @@ struct TriggerOptions {
   /// exceeding the budget aborts with kResourceExhausted.
   uint64_t max_cascade_rounds = 10'000;
   uint64_t max_facts = 20'000'000;
+  /// Wall-clock ceiling for one Fire() cascade, in milliseconds;
+  /// 0 = unlimited. Database::FireTriggers propagates
+  /// EngineOptions::max_wall_ms here so the engine's deadline also
+  /// governs trigger cascades. Expiry mid-round returns
+  /// kDeadlineExceeded *before* any of that round's assertions land
+  /// and without consuming the round's events, so the store is never
+  /// left partially mutated past the last consumed watermark.
+  uint64_t max_wall_ms = 0;
+  /// Clock backing max_wall_ms (milliseconds, monotone); null = the
+  /// real steady clock. Tests inject a fake to trip the deadline
+  /// deterministically, with no real sleeps.
+  std::function<uint64_t()> wall_clock;
+  /// Shared resource budget (base/budget.h; borrowed, may be null).
+  /// When set it governs the cascade — bytes, derivations, wall,
+  /// cancellation — and takes precedence over max_wall_ms (the
+  /// budget's own wall dimension applies instead).
+  ResourceBudget* budget = nullptr;
   /// Observability sinks (all null by default; borrowed).
   ObsSinks obs;
 };
@@ -76,7 +95,8 @@ class TriggerEngine {
     std::set<std::string> head_vars;
   };
 
-  Status RunRound(uint64_t from, HeadAsserter* asserter);
+  Status RunRound(uint64_t from, HeadAsserter* asserter,
+                  ResourceBudget* budget);
 
   ObjectStore* store_;
   uint64_t watermark_;

@@ -1,0 +1,64 @@
+#include "base/budget.h"
+
+#include <chrono>
+
+#include "base/strings.h"
+
+namespace pathlog {
+
+uint64_t ResourceBudget::NowMs() const {
+  if (now_ms_) return now_ms_();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ResourceBudget::Arm() {
+  armed_ = true;
+  armed_at_ms_ = NowMs();
+  derivations_ = 0;
+  rejected_this_window_ = false;
+}
+
+Status ResourceBudget::Reject(Status st) const {
+  if (!rejected_this_window_) {
+    rejected_this_window_ = true;
+    ++rejections_;
+  }
+  return st;
+}
+
+Status ResourceBudget::Check(uint64_t store_bytes) const {
+  if (token_.cancelled()) {
+    return Reject(Cancelled("evaluation cancelled via CancelToken"));
+  }
+  if (limits_.max_store_bytes > 0 && store_bytes > limits_.max_store_bytes) {
+    return Reject(ResourceExhausted(StrCat(
+        "resource budget exceeded: bytes dimension (store holds ~",
+        store_bytes, " of ", limits_.max_store_bytes, " budgeted bytes)")));
+  }
+  if (limits_.max_derivations > 0 && derivations_ > limits_.max_derivations) {
+    return Reject(ResourceExhausted(
+        StrCat("resource budget exceeded: derivations dimension (",
+               derivations_, " of ", limits_.max_derivations, ")")));
+  }
+  return CheckControl();
+}
+
+Status ResourceBudget::CheckControl() const {
+  if (token_.cancelled()) {
+    return Reject(Cancelled("evaluation cancelled via CancelToken"));
+  }
+  if (armed_ && limits_.max_wall_ms > 0) {
+    const uint64_t elapsed = NowMs() - armed_at_ms_;
+    if (elapsed > limits_.max_wall_ms) {
+      return Reject(DeadlineExceeded(
+          StrCat("resource budget exceeded: wall-ms dimension (", elapsed,
+                 " of ", limits_.max_wall_ms, " ms elapsed)")));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pathlog

@@ -1,0 +1,114 @@
+// ResourceBudget: cooperative resource governance for evaluation.
+//
+// A budget bounds one logical operation (a materialisation, a query, a
+// trigger cascade) along three dimensions — store bytes, derivations,
+// and wall-clock — and carries a CancelToken so a caller on another
+// thread can abort the operation between check points. Checks are
+// cooperative: the engine, the reference evaluator, and the trigger
+// engine poll the budget at loop boundaries (per rule evaluation, every
+// ~1k enumeration steps), so a trip is detected within one polling
+// interval, never mid-assertion.
+//
+// The wall clock is injectable so tests can drive deadlines
+// deterministically without real sleeps.
+
+#ifndef PATHLOG_BASE_BUDGET_H_
+#define PATHLOG_BASE_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "base/status.h"
+
+namespace pathlog {
+
+/// Cooperative cancellation flag. Copies share the underlying flag, so
+/// a token handed to another thread observes Cancel() calls made on
+/// any copy.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  void Reset() { flag_->store(false, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Limits for one ResourceBudget. 0 means unlimited for that dimension.
+struct ResourceLimits {
+  /// Absolute ceiling on the ObjectStore's approximate heap footprint
+  /// (ObjectStore::ApproxBytes()). Checked against the store the
+  /// operation mutates, so it bounds total retained memory, not growth.
+  uint64_t max_store_bytes = 0;
+  /// Ceiling on derivations charged since the last Arm().
+  uint64_t max_derivations = 0;
+  /// Wall-clock ceiling in milliseconds since the last Arm().
+  uint64_t max_wall_ms = 0;
+};
+
+/// A reusable budget for one operation at a time: Arm() starts a fresh
+/// accounting window (deadline, derivation count); Check()/CheckControl()
+/// return the typed error for the first exceeded dimension. Rejections
+/// are counted at most once per armed window so metrics reflect
+/// rejected *operations*, not polling frequency.
+class ResourceBudget {
+ public:
+  ResourceBudget() = default;
+  explicit ResourceBudget(ResourceLimits limits) : limits_(limits) {}
+
+  const ResourceLimits& limits() const { return limits_; }
+  void set_limits(ResourceLimits limits) { limits_ = limits; }
+
+  /// Replaces the wall clock (milliseconds, monotone). Null restores
+  /// the real steady clock. Tests inject a fake to trip deadlines
+  /// deterministically.
+  void set_clock(std::function<uint64_t()> now_ms) {
+    now_ms_ = std::move(now_ms);
+  }
+
+  CancelToken& token() { return token_; }
+  const CancelToken& token() const { return token_; }
+
+  /// Starts a fresh accounting window: stamps the deadline origin,
+  /// zeroes the derivation count, and re-enables rejection counting.
+  void Arm();
+
+  void ChargeDerivations(uint64_t n = 1) { derivations_ += n; }
+  uint64_t derivations() const { return derivations_; }
+
+  /// Full check: cancellation, then bytes, then derivations, then
+  /// wall clock. Bytes outrank the wall clock so a memory-budgeted
+  /// runaway reports kResourceExhausted naming the byte dimension even
+  /// if a deadline also lapsed.
+  Status Check(uint64_t store_bytes) const;
+
+  /// Cancellation + wall clock only — the cheap probe for read-only
+  /// evaluation loops that cannot grow the store.
+  Status CheckControl() const;
+
+  /// Operations rejected by this budget since construction (counted
+  /// once per armed window).
+  uint64_t rejections() const { return rejections_; }
+
+ private:
+  uint64_t NowMs() const;
+  Status Reject(Status st) const;
+
+  ResourceLimits limits_;
+  CancelToken token_;
+  std::function<uint64_t()> now_ms_;  // null == std::chrono::steady_clock
+  bool armed_ = false;
+  uint64_t armed_at_ms_ = 0;
+  uint64_t derivations_ = 0;
+  mutable bool rejected_this_window_ = false;
+  mutable uint64_t rejections_ = 0;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_BASE_BUDGET_H_

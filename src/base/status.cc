@@ -28,6 +28,10 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
@@ -87,6 +91,12 @@ Status DeadlineExceeded(std::string message) {
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status Cancelled(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 }  // namespace pathlog

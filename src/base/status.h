@@ -45,6 +45,12 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// An invariant the library promised was broken; indicates a bug.
   kInternal,
+  /// The operation cannot be served right now but retrying may help:
+  /// transient I/O failures (ENOSPC, EIO) and mutations rejected while
+  /// the database is in degraded read-only mode.
+  kUnavailable,
+  /// The operation was cancelled cooperatively via a CancelToken.
+  kCancelled,
 };
 
 /// Human-readable name of a status code (e.g. "ParseError").
@@ -98,6 +104,8 @@ Status InvalidArgument(std::string message);
 Status ResourceExhausted(std::string message);
 Status DeadlineExceeded(std::string message);
 Status Internal(std::string message);
+Status Unavailable(std::string message);
+Status Cancelled(std::string message);
 
 /// Propagates a non-OK status to the caller.
 #define PATHLOG_RETURN_IF_ERROR(expr)            \

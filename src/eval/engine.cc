@@ -4,6 +4,7 @@
 
 #include "ast/analysis.h"
 #include "ast/printer.h"
+#include "base/budget.h"
 #include "base/strings.h"
 #include "eval/ref_eval.h"
 #include "obs/metrics.h"
@@ -238,13 +239,27 @@ Status Engine::CheckLimits() {
         "materialisation exceeded the wall-clock budget (",
         options_.max_wall_ms, " ms)", record_context()));
   }
-  return Status::OK();
+  return CheckBudget();
+}
+
+Status Engine::CheckBudget() {
+  if (options_.budget == nullptr) return Status::OK();
+  Status st = options_.budget->Check(store_->ApproxBytes());
+  if (st.ok()) return st;
+  stats_.limit_stratum = current_stratum_;
+  stats_.limit_rule =
+      current_rule_ != nullptr ? ToString(current_rule_->rule) : "";
+  if (stats_.limit_rule.empty()) return st;
+  return Status(st.code(),
+                StrCat(st.message(), " in stratum ", stats_.limit_stratum,
+                       " while evaluating rule `", stats_.limit_rule, "`"));
 }
 
 Status Engine::EvaluateRule(PlannedRule* pr, HeadAsserter* asserter,
                             std::optional<uint64_t> delta_from) {
   SemanticStructure I(*store_);
   RefEvaluator eval(I, options_.use_inverted_indexes);
+  eval.set_budget(options_.budget);
   Status st = EvaluateRuleBody(pr, asserter, delta_from, &eval);
   // Flush the evaluator's route counters on every path (including
   // errors — a tripped deadline still wants its profile).
@@ -335,6 +350,14 @@ Status Engine::EvaluateRuleBody(PlannedRule* pr, HeadAsserter* asserter,
     const uint64_t before = store_->generation();
     PATHLOG_RETURN_IF_ERROR(asserter->Assert(*pr->rule.head, &hb));
     ++stats_.derivations;
+    if (options_.budget != nullptr) {
+      options_.budget->ChargeDerivations();
+      // Poll mid-batch so a huge assertion batch cannot blow far past
+      // the byte or derivation ceiling before the per-rule check.
+      if ((stats_.derivations & 0x3FF) == 0) {
+        PATHLOG_RETURN_IF_ERROR(CheckBudget());
+      }
+    }
     if (options_.trace_provenance && store_->generation() > before) {
       provenance_.push_back(
           DerivationRecord{before, store_->generation(), pr->index, v});
@@ -412,6 +435,8 @@ Status Engine::RunStratum(int stratum, const std::vector<size_t>& rule_idxs,
 Status Engine::Run() {
   TraceSpan run_span(options_.obs.tracer, "engine.run", "engine");
   const EngineStats before = stats_;
+  const uint64_t rejections_before =
+      options_.budget != nullptr ? options_.budget->rejections() : 0;
   const auto t0 = std::chrono::steady_clock::now();
   Status st = RunImpl();
   const double run_ms = std::chrono::duration<double, std::milli>(
@@ -421,6 +446,11 @@ Status Engine::Run() {
   // elapsed time would be undiagnosable.
   stats_.elapsed_ms += run_ms;
   PublishMetrics(before, run_ms);
+  if (options_.budget != nullptr) {
+    CountBudgetRejections(
+        options_.obs.metrics,
+        options_.budget->rejections() - rejections_before);
+  }
   return st;
 }
 
@@ -459,6 +489,7 @@ void Engine::PublishMetrics(const EngineStats& before, double run_ms) {
 
 Status Engine::RunImpl() {
   const uint64_t start_facts = store_->generation();
+  if (options_.budget != nullptr) options_.budget->Arm();
   if (options_.max_wall_ms > 0) {
     deadline_ = std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(options_.max_wall_ms);

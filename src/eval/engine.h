@@ -40,7 +40,8 @@
 namespace pathlog {
 
 class RefEvaluator;
-struct PlannerHints;  // query/planner.h
+class ResourceBudget;  // base/budget.h
+struct PlannerHints;   // query/planner.h
 
 enum class EvalStrategy : uint8_t {
   /// Every rule re-evaluated every iteration (textbook oracle).
@@ -96,6 +97,13 @@ struct EngineOptions {
   /// changes. Borrowed; the caller keeps it alive for the engine's
   /// lifetime.
   const PlannerHints* planner_hints = nullptr;
+  /// Cooperative resource budget (base/budget.h): store bytes,
+  /// derivations, wall clock, and a CancelToken, governing the whole
+  /// operation this engine runs for. Armed by Run() (the wall window
+  /// covers one materialisation); checked beside the engine's own
+  /// limits and polled inside enumeration via the reference
+  /// evaluator. Borrowed; null disables budget governance.
+  ResourceBudget* budget = nullptr;
 };
 
 /// One head-instance assertion that added facts: the facts with
@@ -188,6 +196,9 @@ class Engine {
   /// Non-const: a tripped limit records its context (stratum, rule)
   /// into stats_ for diagnosability.
   Status CheckLimits();
+  /// Polls options_.budget (no-op when null), splicing the stratum/rule
+  /// context into the error exactly like CheckLimits does.
+  Status CheckBudget();
   /// Bumps the pathlog_engine_* metrics by the growth of stats_ since
   /// `before` (no-op without a registry).
   void PublishMetrics(const EngineStats& before, double run_ms);

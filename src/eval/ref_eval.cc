@@ -43,6 +43,7 @@ bool RefEvaluator::AllVarsBound(const Ref& t, const Bindings& b) const {
 
 Result<bool> RefEvaluator::Enumerate(const Ref& t, Bindings* b,
                                      const EmitFn& emit) {
+  PATHLOG_RETURN_IF_ERROR(TickBudget());
   switch (t.kind) {
     case RefKind::kName: {
       std::optional<Oid> o = LookupName(I_.store(), t);
@@ -110,6 +111,7 @@ Result<std::vector<Oid>> RefEvaluator::EvalGround(const Ref& t, Bindings* b) {
 
 Result<bool> RefEvaluator::MatchRef(const Ref& t, Oid target, Bindings* b,
                                     const Cont& cont) {
+  PATHLOG_RETURN_IF_ERROR(TickBudget());
   const Ref& d = Deref(t);
   switch (d.kind) {
     case RefKind::kVar: {
@@ -586,6 +588,7 @@ Result<bool> RefEvaluator::EnumMolecule(const Ref& t, Bindings* b,
 Result<bool> RefEvaluator::CheckFilters(const std::vector<Filter>& filters,
                                         size_t i, Oid u0, Bindings* b,
                                         const Cont& cont) {
+  PATHLOG_RETURN_IF_ERROR(TickBudget());
   if (i == filters.size()) return cont();
   return CheckFilter(filters[i], u0, b, [&]() -> Result<bool> {
     return CheckFilters(filters, i + 1, u0, b, cont);

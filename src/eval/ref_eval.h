@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ast/ref.h"
+#include "base/budget.h"
 #include "base/result.h"
 #include "eval/bindings.h"
 #include "semantics/structure.h"
@@ -77,6 +78,14 @@ class RefEvaluator {
   uint64_t extent_scans() const { return extent_scans_; }
   /// Whole-universe scans (undriven variables or molecules).
   uint64_t universe_scans() const { return universe_scans_; }
+
+  /// Attaches a cooperative budget (null detaches). Enumeration polls
+  /// budget->CheckControl() — cancellation and wall clock only, since
+  /// enumeration never grows the store — on the first recursion step
+  /// and every ~1k steps after, closing the "very long single
+  /// enumerations can overshoot the deadline" gap the engine-level
+  /// per-rule checks leave open.
+  void set_budget(const ResourceBudget* budget) { budget_ = budget; }
 
   // --- Delta-restricted mode (literal-level semi-naive) --------------
   //
@@ -178,6 +187,16 @@ class RefEvaluator {
 
   bool AllVarsBound(const Ref& t, const Bindings& b) const;
 
+  /// Budget poll at enumeration boundaries: OK (and nearly free) on
+  /// all but every 1024th call, where the attached budget's control
+  /// dimensions (cancellation, deadline) are checked.
+  Status TickBudget() {
+    if (budget_ == nullptr || (budget_probe_++ & 0x3FF) != 0) {
+      return Status::OK();
+    }
+    return budget_->CheckControl();
+  }
+
   const SemanticStructure& I_;
   bool use_inverted_ = true;
   uint64_t emit_count_ = 0;
@@ -188,6 +207,8 @@ class RefEvaluator {
   bool delta_active_ = false;
   uint64_t delta_from_ = 0;
   int delta_count_ = 0;
+  const ResourceBudget* budget_ = nullptr;
+  uint64_t budget_probe_ = 0;
 };
 
 }  // namespace pathlog

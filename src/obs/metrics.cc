@@ -242,4 +242,12 @@ Result<MetricsSamples> ParseMetricsPrometheusText(std::string_view text) {
   return samples;
 }
 
+void CountBudgetRejections(MetricsRegistry* metrics, uint64_t n) {
+  if (metrics == nullptr || n == 0) return;
+  Counter* c =
+      metrics->GetCounter("pathlog_budget_rejections_total",
+                          "operations rejected by a resource budget");
+  if (c != nullptr) c->Inc(n);
+}
+
 }  // namespace pathlog

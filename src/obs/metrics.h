@@ -142,6 +142,11 @@ Result<MetricsSamples> ParseMetricsJson(std::string_view json);
 /// comment lines; kInvalidArgument on malformed sample lines.
 Result<MetricsSamples> ParseMetricsPrometheusText(std::string_view text);
 
+/// Bumps pathlog_budget_rejections_total by n. One definition point so
+/// the engine, trigger engine, and database all feed the same series.
+/// No-op when metrics is null or n is 0.
+void CountBudgetRejections(MetricsRegistry* metrics, uint64_t n);
+
 }  // namespace pathlog
 
 #endif  // PATHLOG_OBS_METRICS_H_

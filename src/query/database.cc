@@ -5,6 +5,9 @@
 #include <cstring>
 #include <iterator>
 #include <set>
+#include <thread>
+
+#include "base/budget.h"
 
 #include "ast/analysis.h"
 #include "ast/printer.h"
@@ -158,6 +161,7 @@ Status Database::Load(std::string_view program_text) {
 }
 
 Status Database::LoadProgram(const Program& program) {
+  if (degraded()) return DegradedError();
   TraceSpan load_span(options_.engine.obs.tracer, "db.load", "database");
   if (!program.queries.empty()) {
     return InvalidArgument(
@@ -211,6 +215,7 @@ Status Database::LoadProgram(const Program& program) {
 }
 
 Status Database::Materialize() {
+  if (degraded()) return DegradedError();
   TraceSpan mat_span(options_.engine.obs.tracer, "db.materialize",
                      "database");
   EngineOptions engine_options = options_.engine;
@@ -257,7 +262,10 @@ Result<ResultSet> Database::Query(std::string_view query_text) {
 }
 
 Result<ResultSet> Database::RunQuery(const struct Query& query) {
-  if (dirty_) {
+  // Degraded read-only mode: keep answering from the last consistent
+  // state — no re-materialisation (it would grow the store past what
+  // the broken log can persist) and no WAL commit.
+  if (dirty_ && !degraded()) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
   TraceSpan query_span(options_.engine.obs.tracer, "db.query", "database");
@@ -279,14 +287,25 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
       options_.use_analysis_hints ? &planner_hints_ : nullptr,
       options_.engine.planner_stats));
   // Queries intern names; recovery replays oids densely, so even
-  // fact-free universe growth must reach the log.
-  PATHLOG_RETURN_IF_ERROR(CommitDurable());
+  // fact-free universe growth must reach the log. (A degraded database
+  // skips the commit — the checkpoint that recovers it snapshots the
+  // whole store, interns included.)
+  if (!degraded()) {
+    PATHLOG_RETURN_IF_ERROR(CommitDurable());
+  }
 
   std::vector<std::string> vars(user_vars.begin(), user_vars.end());
   ResultSet result(vars);
 
   SemanticStructure I(store_);
   RefEvaluator eval(I, options_.engine.use_inverted_indexes);
+  // The budget window for the query's own enumeration (Materialize
+  // above already published its window through the engine).
+  ResourceBudget* budget = options_.engine.budget;
+  if (budget != nullptr) budget->Arm();
+  const uint64_t rejections_before =
+      budget != nullptr ? budget->rejections() : 0;
+  eval.set_budget(budget);
   Bindings b;
   // Per-literal solution production and entry counts, recorded against
   // the planner's estimates (profiler only). `entered[i]` counts the
@@ -324,6 +343,10 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
     });
   };
   Result<bool> r = go(0);
+  if (budget != nullptr) {
+    CountBudgetRejections(options_.engine.obs.metrics,
+                          budget->rejections() - rejections_before);
+  }
   if (!r.ok()) return r.status();
   result.Dedup();
 
@@ -360,7 +383,7 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
 Result<std::string> Database::ExplainQuery(std::string_view query_text) {
   Result<struct Query> q = ParseQuery(query_text);
   if (!q.ok()) return q.status();
-  if (dirty_) {
+  if (dirty_ && !degraded()) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
   std::vector<Literal> body = q->body;
@@ -373,7 +396,9 @@ Result<std::string> Database::ExplainQuery(std::string_view query_text) {
       &body, store_, &log, nullptr,
       options_.use_analysis_hints ? &planner_hints_ : nullptr,
       options_.engine.planner_stats));
-  PATHLOG_RETURN_IF_ERROR(CommitDurable());
+  if (!degraded()) {
+    PATHLOG_RETURN_IF_ERROR(CommitDurable());
+  }
   std::string out = "plan:\n";
   for (size_t i = 0; i < log.size(); ++i) {
     out += StrCat("  ", i + 1, ". ", log[i], "\n");
@@ -392,18 +417,29 @@ Result<std::vector<Oid>> Database::Eval(std::string_view ref_text) {
   if (!ref.ok()) return ref.status();
   PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
   InternNames(**ref);
-  if (dirty_) {
+  if (dirty_ && !degraded()) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
-  PATHLOG_RETURN_IF_ERROR(CommitDurable());
+  if (!degraded()) {
+    PATHLOG_RETURN_IF_ERROR(CommitDurable());
+  }
   SemanticStructure I(store_);
   RefEvaluator eval(I, options_.engine.use_inverted_indexes);
+  ResourceBudget* budget = options_.engine.budget;
+  if (budget != nullptr) budget->Arm();
+  const uint64_t rejections_before =
+      budget != nullptr ? budget->rejections() : 0;
+  eval.set_budget(budget);
   Bindings b;
   std::vector<Oid> out;
   Result<bool> r = eval.Enumerate(**ref, &b, [&](Oid o) -> Result<bool> {
     out.push_back(o);
     return true;
   });
+  if (budget != nullptr) {
+    CountBudgetRejections(options_.engine.obs.metrics,
+                          budget->rejections() - rejections_before);
+  }
   if (!r.ok()) return r.status();
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -415,14 +451,26 @@ Result<bool> Database::Holds(std::string_view ref_text) {
   if (!ref.ok()) return ref.status();
   PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
   InternNames(**ref);
-  if (dirty_) {
+  if (dirty_ && !degraded()) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
-  PATHLOG_RETURN_IF_ERROR(CommitDurable());
+  if (!degraded()) {
+    PATHLOG_RETURN_IF_ERROR(CommitDurable());
+  }
   SemanticStructure I(store_);
   RefEvaluator eval(I, options_.engine.use_inverted_indexes);
+  ResourceBudget* budget = options_.engine.budget;
+  if (budget != nullptr) budget->Arm();
+  const uint64_t rejections_before =
+      budget != nullptr ? budget->rejections() : 0;
+  eval.set_budget(budget);
   Bindings b;
-  return eval.Satisfiable(**ref, &b);
+  Result<bool> sat = eval.Satisfiable(**ref, &b);
+  if (budget != nullptr) {
+    CountBudgetRejections(options_.engine.obs.metrics,
+                          budget->rejections() - rejections_before);
+  }
+  return sat;
 }
 
 Status Database::TypeCheck(std::vector<TypeViolation>* violations) const {
@@ -467,7 +515,14 @@ void Database::RefreshAnalysisHints() {
 }
 
 Status Database::FireTriggers() {
-  TriggerEngine engine(&store_, trigger_watermark_, options_.triggers);
+  if (degraded()) return DegradedError();
+  // The engine's governance follows the cascade: the shared resource
+  // budget if one is attached, else the engine's wall deadline.
+  TriggerOptions topts = options_.triggers;
+  if (topts.max_wall_ms == 0) topts.max_wall_ms = options_.engine.max_wall_ms;
+  if (topts.budget == nullptr) topts.budget = options_.engine.budget;
+  if (topts.budget != nullptr) topts.budget->Arm();
+  TriggerEngine engine(&store_, trigger_watermark_, topts);
   for (const TriggerRule& t : triggers_) {
     PATHLOG_RETURN_IF_ERROR(engine.AddTrigger(t));
   }
@@ -587,12 +642,16 @@ Result<Database> Database::Open(const std::string& dir,
   db.durable_dir_ = dir;
 
   // An atomic write interrupted before its rename leaves a temp file;
-  // it was never part of the committed state.
-  if (fops->Exists(snapshot_path + ".tmp")) {
-    (void)fops->Remove(snapshot_path + ".tmp");
-  }
-  if (fops->Exists(db.WalPath() + ".tmp")) {
-    (void)fops->Remove(db.WalPath() + ".tmp");
+  // it was never part of the committed state. Sweep every stale one,
+  // whatever write produced it.
+  if (Result<std::vector<std::string>> entries = fops->ListDir(dir);
+      entries.ok()) {
+    for (const std::string& name : *entries) {
+      if (name.size() > 4 &&
+          name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        (void)fops->Remove(dir + "/" + name);
+      }
+    }
   }
 
   if (fops->Exists(db.WalPath())) {
@@ -629,6 +688,7 @@ Result<Database> Database::Open(const std::string& dir,
       if (!file.ok()) return file.status();
       db.wal_ = std::make_unique<WalAppender>(std::move(*file));
       db.wal_->set_obs(options.engine.obs.metrics, options.engine.obs.tracer);
+      db.wal_good_bytes_ = scan->valid_bytes;
     }
   } else {
     PATHLOG_RETURN_IF_ERROR(db.ResetWal());
@@ -650,26 +710,13 @@ Status Database::ResetWal() {
   if (!file.ok()) return file.status();
   wal_ = std::make_unique<WalAppender>(std::move(*file));
   wal_->set_obs(options_.engine.obs.metrics, options_.engine.obs.tracer);
+  wal_good_bytes_ = kWalMagicLen;
   return Status::OK();
 }
 
-Status Database::CommitDurable() {
-  if (!wal_) return Status::OK();
-  if (!wal_error_.ok()) return wal_error_;
-
-  const uint64_t universe = store_.UniverseSize();
-  const uint64_t gen = store_.generation();
-  const bool watermark_moved = trigger_watermark_ != wal_trigger_watermark_;
-  if (universe == wal_objects_ && gen == wal_facts_ &&
-      pending_program_text_.empty() && !watermark_moved) {
-    return Status::OK();
-  }
-
-  auto broken = [this](Status st) {
-    wal_error_ = st;
-    return st;
-  };
-
+Status Database::AppendPendingToWal(uint64_t universe, uint64_t gen,
+                                    bool watermark_moved,
+                                    uint64_t* records) {
   // Interns first so replay never meets a fact or rule referencing an
   // object it has not seen; facts before the watermark so a recovered
   // watermark never exceeds the recovered generation.
@@ -685,37 +732,140 @@ Status Database::CommitDurable() {
         name = name.substr(1, name.size() - 2);
       }
     }
-    Status st = wal_->Append(EncodeWalIntern(o, kind, int_value, name));
-    if (!st.ok()) return broken(st);
-    ++wal_records_;
+    PATHLOG_RETURN_IF_ERROR(
+        wal_->Append(EncodeWalIntern(o, kind, int_value, name)));
+    ++*records;
   }
   if (!pending_program_text_.empty()) {
-    Status st = wal_->Append(EncodeWalProgram(pending_program_text_));
-    if (!st.ok()) return broken(st);
-    ++wal_records_;
+    PATHLOG_RETURN_IF_ERROR(
+        wal_->Append(EncodeWalProgram(pending_program_text_)));
+    ++*records;
   }
   for (uint64_t g = wal_facts_; g < gen; ++g) {
-    Status st = wal_->Append(EncodeWalFact(g, store_.FactAt(g)));
-    if (!st.ok()) return broken(st);
-    ++wal_records_;
+    PATHLOG_RETURN_IF_ERROR(wal_->Append(EncodeWalFact(g, store_.FactAt(g))));
+    ++*records;
   }
   if (watermark_moved) {
-    Status st = wal_->Append(EncodeWalTriggerWatermark(trigger_watermark_));
-    if (!st.ok()) return broken(st);
-    ++wal_records_;
+    PATHLOG_RETURN_IF_ERROR(
+        wal_->Append(EncodeWalTriggerWatermark(trigger_watermark_)));
+    ++*records;
   }
   if (options_.durability.fsync_policy ==
       DurabilityOptions::FsyncPolicy::kAlways) {
-    Status st = wal_->Sync();
-    if (!st.ok()) return broken(st);
+    PATHLOG_RETURN_IF_ERROR(wal_->Sync());
   }
+  return Status::OK();
+}
+
+Status Database::ReopenWalTruncated() {
+  wal_.reset();
+  // A failed batch may have torn bytes into the log's middle (a short
+  // write); appending past them would corrupt the valid prefix. Cut
+  // back to the last length every record of which is known good.
+  PATHLOG_RETURN_IF_ERROR(fops_->Truncate(WalPath(), wal_good_bytes_));
+  Result<std::unique_ptr<FileOps::WritableFile>> file =
+      fops_->OpenForWrite(WalPath(), /*truncate=*/false);
+  if (!file.ok()) return file.status();
+  wal_ = std::make_unique<WalAppender>(std::move(*file));
+  wal_->set_obs(options_.engine.obs.metrics, options_.engine.obs.tracer);
+  return Status::OK();
+}
+
+void Database::BackoffSleep(uint64_t ms) {
+  if (options_.durability.backoff_sleep) {
+    options_.durability.backoff_sleep(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+Status Database::DegradedError() const {
+  return Unavailable(StrCat(
+      "database is in degraded read-only mode (", wal_error_.message(),
+      "); queries serve the last consistent state, mutations are "
+      "rejected until a checkpoint succeeds"));
+}
+
+Status Database::EnterDegradedMode(Status cause) {
+  wal_error_ = cause;
+  ++degraded_entries_;
+  if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
+    if (Counter* c =
+            m->GetCounter("pathlog_db_degraded_entries_total",
+                          "entries into degraded read-only mode")) {
+      c->Inc();
+    }
+    if (Gauge* g = m->GetGauge("pathlog_db_degraded",
+                               "1 while serving degraded read-only")) {
+      g->Set(1);
+    }
+  }
+  return DegradedError();
+}
+
+Status Database::CommitDurable() {
+  if (degraded()) return DegradedError();
+  if (!wal_) return Status::OK();
+
+  const uint64_t universe = store_.UniverseSize();
+  const uint64_t gen = store_.generation();
+  const bool watermark_moved = trigger_watermark_ != wal_trigger_watermark_;
+  if (universe == wal_objects_ && gen == wal_facts_ &&
+      pending_program_text_.empty() && !watermark_moved) {
+    return Status::OK();
+  }
+
+  const DurabilityOptions& dur = options_.durability;
+  uint64_t records = 0;
+  uint64_t bytes_before = wal_->appended_bytes();
+  Status st = AppendPendingToWal(universe, gen, watermark_moved, &records);
+  uint64_t backoff = dur.initial_backoff_ms;
+  uint32_t attempt = 0;
+  while (!st.ok() && IsTransientIoError(st) &&
+         attempt < dur.max_transient_retries) {
+    ++attempt;
+    ++wal_retries_;
+    if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
+      if (Counter* c =
+              m->GetCounter("pathlog_wal_retries_total",
+                            "transient WAL failures retried with backoff")) {
+        c->Inc();
+      }
+    }
+    BackoffSleep(backoff);
+    backoff = std::min(backoff * 2, dur.max_backoff_ms);
+    Status reopen = ReopenWalTruncated();
+    if (!reopen.ok()) {
+      // The reopen itself can hit the same transient condition; let
+      // the loop treat it like another failed attempt.
+      st = reopen;
+      continue;
+    }
+    records = 0;
+    bytes_before = wal_->appended_bytes();
+    st = AppendPendingToWal(universe, gen, watermark_moved, &records);
+  }
+  if (!st.ok()) return EnterDegradedMode(st);
+
+  wal_good_bytes_ += wal_->appended_bytes() - bytes_before;
+  wal_records_ += records;
   wal_objects_ = universe;
   wal_facts_ = gen;
   wal_trigger_watermark_ = trigger_watermark_;
   pending_program_text_.clear();
 
-  if (options_.durability.checkpoint_every > 0 &&
-      wal_records_ >= options_.durability.checkpoint_every) {
+  if (dur.rotate_wal_bytes > 0 && wal_good_bytes_ >= dur.rotate_wal_bytes) {
+    ++wal_rotations_;
+    if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
+      if (Counter* c = m->GetCounter(
+              "pathlog_wal_rotations_total",
+              "WAL segment rotations (size-triggered checkpoints)")) {
+        c->Inc();
+      }
+    }
+    return Checkpoint();
+  }
+  if (dur.checkpoint_every > 0 && wal_records_ >= dur.checkpoint_every) {
     return Checkpoint();
   }
   return Status::OK();
@@ -755,8 +905,33 @@ Status Database::Checkpoint() {
   wal_trigger_watermark_ = trigger_watermark_;
   wal_records_ = 0;
   pending_program_text_.clear();
+  // A successful checkpoint is the recovery probe: the snapshot holds
+  // everything the broken WAL could not persist, so read-write service
+  // resumes on a fresh log.
   wal_error_ = Status::OK();
+  if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
+    if (Gauge* g = m->GetGauge("pathlog_db_degraded",
+                               "1 while serving degraded read-only")) {
+      g->Set(0);
+    }
+  }
   return Status::OK();
+}
+
+DatabaseHealth Database::Health() const {
+  DatabaseHealth h;
+  h.durable = wal_ != nullptr || fops_ != nullptr;
+  h.degraded = degraded();
+  if (h.degraded) h.degraded_cause = wal_error_.message();
+  h.degraded_entries = degraded_entries_;
+  h.wal_retries = wal_retries_;
+  h.wal_rotations = wal_rotations_;
+  h.wal_records = wal_records_;
+  h.wal_bytes = wal_good_bytes_;
+  h.store_bytes = store_.ApproxBytes();
+  h.objects = store_.UniverseSize();
+  h.facts = store_.generation();
+  return h;
 }
 
 Status Database::ReplayProgramText(const std::string& text) {

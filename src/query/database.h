@@ -13,6 +13,8 @@
 #ifndef PATHLOG_QUERY_DATABASE_H_
 #define PATHLOG_QUERY_DATABASE_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,6 +53,44 @@ struct DurabilityOptions {
   /// Checkpoint (snapshot + WAL reset) automatically once this many
   /// WAL records have accumulated; 0 = only on explicit Checkpoint().
   uint64_t checkpoint_every = 0;
+  /// A WAL append/fsync failure classified as transient (kUnavailable:
+  /// EIO, ENOSPC, ...) is retried up to this many times. Each retry
+  /// truncates the log back to its last known-good length, reopens it
+  /// and re-appends the whole pending batch — a short write may have
+  /// torn the middle, so appending past it would corrupt the log.
+  /// Failures with any other code are treated as persistent: no
+  /// retries, immediate degraded read-only mode.
+  uint32_t max_transient_retries = 4;
+  /// Backoff before the first retry, doubling per attempt and capped
+  /// at max_backoff_ms.
+  uint64_t initial_backoff_ms = 1;
+  uint64_t max_backoff_ms = 64;
+  /// Rotate the WAL — auto-checkpoint, which snapshots and resets the
+  /// log — once the segment reaches this many bytes; 0 = never.
+  /// Bounds both recovery time and log disk usage.
+  uint64_t rotate_wal_bytes = 64ull << 20;
+  /// Injectable sleep for retry backoff (argument: milliseconds);
+  /// null = a real sleep. Tests inject a recorder so retry schedules
+  /// are asserted without real delays.
+  std::function<void(uint64_t)> backoff_sleep;
+};
+
+/// A point-in-time health summary of a database (see Database::Health,
+/// and the shell's \health command).
+struct DatabaseHealth {
+  bool durable = false;   ///< came from Open() and is (or was) logging
+  bool degraded = false;  ///< serving read-only after a WAL failure
+  /// Message of the WAL failure that caused degraded mode ("" if not
+  /// degraded).
+  std::string degraded_cause;
+  uint64_t degraded_entries = 0;  ///< times degraded mode was entered
+  uint64_t wal_retries = 0;       ///< transient WAL failures retried
+  uint64_t wal_rotations = 0;     ///< size-triggered WAL rotations
+  uint64_t wal_records = 0;       ///< records since the last checkpoint
+  uint64_t wal_bytes = 0;         ///< known-good WAL length in bytes
+  uint64_t store_bytes = 0;       ///< ObjectStore::ApproxBytes()
+  uint64_t objects = 0;           ///< universe size
+  uint64_t facts = 0;             ///< fact-log length
 };
 
 struct DatabaseOptions {
@@ -169,6 +209,17 @@ class Database {
   /// True when this database was produced by Open() and is logging.
   bool durable() const { return wal_ != nullptr; }
 
+  /// True while the database is serving degraded read-only: a WAL
+  /// write failed persistently (or exhausted its transient retries),
+  /// so queries keep answering from the last consistent state while
+  /// every mutation fails fast with kUnavailable. The next successful
+  /// Checkpoint() — the recovery probe — restores read-write service.
+  bool degraded() const { return fops_ != nullptr && !wal_error_.ok(); }
+
+  /// Health summary: durability mode, degraded state and cause, WAL
+  /// retry/rotation counters, and store size.
+  DatabaseHealth Health() const;
+
   /// Attaches (or, with all-null sinks, detaches) observability at
   /// runtime: the engine, trigger engine, store, WAL appender, and the
   /// database's own spans/counters all pick up the new sinks. The
@@ -213,6 +264,23 @@ class Database {
   /// fails with that error until Checkpoint() rebuilds the log —
   /// appending past a torn middle would silently lose the suffix.
   Status CommitDurable();
+  /// One attempt at appending everything pending to the WAL (interns,
+  /// program text, facts, watermark) plus the policy fsync. Counts
+  /// records into `*records` but mutates no bookkeeping — retries
+  /// re-run it from the same state.
+  Status AppendPendingToWal(uint64_t universe, uint64_t gen,
+                            bool watermark_moved, uint64_t* records);
+  /// Drops whatever a failed append attempt left beyond the last
+  /// known-good WAL length and reopens the appender there.
+  Status ReopenWalTruncated();
+  /// Latches `cause` (every further mutation fails fast), counts the
+  /// entry, sets the degraded gauge, and returns the kUnavailable
+  /// error the failing mutation reports.
+  Status EnterDegradedMode(Status cause);
+  /// The fail-fast error mutations get while degraded.
+  Status DegradedError() const;
+  /// Sleeps `ms` (or calls the injected durability.backoff_sleep).
+  void BackoffSleep(uint64_t ms);
   /// Wraps a mutating entry point: preserves `st`, commits the WAL.
   Status FinishMutation(Status st);
   /// Replaces the WAL with a fresh, empty, synced log (atomic).
@@ -265,6 +333,12 @@ class Database {
   uint64_t wal_facts_ = 0;    ///< fact-log prefix already logged
   uint64_t wal_trigger_watermark_ = 0;  ///< last logged watermark
   uint64_t wal_records_ = 0;  ///< records since the last checkpoint
+  /// Known-good WAL length: the recovered valid prefix plus every
+  /// fully committed batch since. Retries truncate back to this.
+  uint64_t wal_good_bytes_ = 0;
+  uint64_t wal_retries_ = 0;      ///< transient failures retried
+  uint64_t wal_rotations_ = 0;    ///< size-triggered rotations
+  uint64_t degraded_entries_ = 0; ///< times degraded mode was entered
   /// Rules/triggers/signatures installed since the last commit,
   /// re-rendered as loadable text.
   std::string pending_program_text_;

@@ -1,5 +1,6 @@
 #include "store/file_ops.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -22,8 +23,29 @@ std::string ParentDir(const std::string& path) {
   return path.substr(0, slash);
 }
 
+/// Errnos that describe a condition of the moment — a full disk, a bad
+/// block, a busy device — rather than a caller mistake. These map to
+/// kUnavailable so the durability layer knows a retry may succeed.
+bool ErrnoIsTransient(int err) {
+  switch (err) {
+    case EIO:
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+    case EAGAIN:
+    case EBUSY:
+    case ETIMEDOUT:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Status ErrnoStatus(const std::string& op, const std::string& path) {
-  return InvalidArgument(StrCat(op, " ", path, ": ", std::strerror(errno)));
+  std::string message = StrCat(op, " ", path, ": ", std::strerror(errno));
+  if (ErrnoIsTransient(errno)) return Unavailable(std::move(message));
+  return InvalidArgument(std::move(message));
 }
 
 class PosixWritableFile : public FileOps::WritableFile {
@@ -129,7 +151,32 @@ class PosixFileOps : public FileOps {
         return ErrnoStatus("mkdir", prefix);
       }
     }
+    // EEXIST above also tolerates a plain file squatting on the name;
+    // callers are about to create files *inside* the path, so fail
+    // loudly here instead of with a confusing ENOTDIR later.
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path);
+    if (!S_ISDIR(st.st_mode)) {
+      return InvalidArgument(StrCat(path, " exists and is not a directory"));
+    }
     return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* d = ::opendir(path.c_str());
+    if (d == nullptr) return Status(ErrnoStatus("opendir", path));
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      struct stat st;
+      if (::stat(StrCat(path, "/", name).c_str(), &st) == 0 &&
+          S_ISREG(st.st_mode)) {
+        names.push_back(std::move(name));
+      }
+    }
+    ::closedir(d);
+    return names;
   }
 
  private:
@@ -143,10 +190,6 @@ class PosixFileOps : public FileOps {
   }
 };
 
-Status InjectedFault(const char* op) {
-  return Internal(StrCat("injected fault: ", op));
-}
-
 Status SimulatedCrash() {
   return Internal("simulated crash: file system is down");
 }
@@ -156,6 +199,10 @@ Status SimulatedCrash() {
 FileOps* DefaultFileOps() {
   static PosixFileOps* ops = new PosixFileOps();
   return ops;
+}
+
+bool IsTransientIoError(const Status& st) {
+  return st.code() == StatusCode::kUnavailable;
 }
 
 Status WriteFileAtomic(FileOps* ops, const std::string& path,
@@ -196,6 +243,11 @@ void FaultInjectingFileOps::ArmFault(FaultKind kind, uint64_t nth) {
   fault_at_ = op_count_ + nth;
 }
 
+void FaultInjectingFileOps::SetSchedule(FaultSchedule schedule) {
+  schedule_ = std::move(schedule);
+  for (uint64_t& c : sched_counts_) c = 0;
+}
+
 void FaultInjectingFileOps::RecoverAfterCrash() {
   for (auto& [path, state] : files_) {
     // Tear every unsynced tail: an arbitrary prefix survives. Half
@@ -208,15 +260,30 @@ void FaultInjectingFileOps::RecoverAfterCrash() {
   fault_at_ = 0;
 }
 
-FaultInjectingFileOps::FaultKind FaultInjectingFileOps::TickWriteOp() {
+FaultInjectingFileOps::FaultDecision FaultInjectingFileOps::TickWriteOp(
+    FaultOp op) {
   ++op_count_;
+  ++sched_counts_[static_cast<size_t>(FaultOp::kAny)];
+  ++sched_counts_[static_cast<size_t>(op)];
   if (armed_ != FaultKind::kNone && op_count_ == fault_at_) {
     FaultKind k = armed_;
     if (k == FaultKind::kCrash) crashed_ = true;
     armed_ = FaultKind::kNone;
-    return k;
+    return {k, StatusCode::kInternal};
   }
-  return FaultKind::kNone;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.op != FaultOp::kAny && e.op != op) continue;
+    const uint64_t n = sched_counts_[static_cast<size_t>(e.op)];
+    if (n < e.at || n >= e.at + e.count) continue;
+    if (e.kind == FaultKind::kCrash) crashed_ = true;
+    return {e.kind, e.code};
+  }
+  return {FaultKind::kNone, StatusCode::kInternal};
+}
+
+Status FaultInjectingFileOps::FaultStatus(const FaultDecision& decision,
+                                          const char* what) {
+  return Status(decision.code, StrCat("injected fault: ", what));
 }
 
 Result<std::string> FaultInjectingFileOps::ReadFile(const std::string& path) {
@@ -235,9 +302,9 @@ bool FaultInjectingFileOps::Exists(const std::string& path) {
 Result<std::unique_ptr<FileOps::WritableFile>>
 FaultInjectingFileOps::OpenForWrite(const std::string& path, bool truncate) {
   if (crashed_) return Status(SimulatedCrash());
-  FaultKind k = TickWriteOp();
-  if (k == FaultKind::kCrash) return Status(SimulatedCrash());
-  if (k != FaultKind::kNone) return Status(InjectedFault("open"));
+  FaultDecision d = TickWriteOp(FaultOp::kOpen);
+  if (d.kind == FaultKind::kCrash) return Status(SimulatedCrash());
+  if (d.kind != FaultKind::kNone) return Status(FaultStatus(d, "open"));
   FileState& state = files_[path];
   if (truncate) {
     // Truncation of an existing file is itself a write: the old
@@ -251,9 +318,9 @@ FaultInjectingFileOps::OpenForWrite(const std::string& path, bool truncate) {
 
 Status FaultInjectingFileOps::Remove(const std::string& path) {
   if (crashed_) return SimulatedCrash();
-  FaultKind k = TickWriteOp();
-  if (k == FaultKind::kCrash) return SimulatedCrash();
-  if (k != FaultKind::kNone) return InjectedFault("remove");
+  FaultDecision d = TickWriteOp(FaultOp::kRemove);
+  if (d.kind == FaultKind::kCrash) return SimulatedCrash();
+  if (d.kind != FaultKind::kNone) return FaultStatus(d, "remove");
   files_.erase(path);
   return Status::OK();
 }
@@ -261,9 +328,9 @@ Status FaultInjectingFileOps::Remove(const std::string& path) {
 Status FaultInjectingFileOps::Rename(const std::string& from,
                                      const std::string& to) {
   if (crashed_) return SimulatedCrash();
-  FaultKind k = TickWriteOp();
-  if (k == FaultKind::kCrash) return SimulatedCrash();
-  if (k != FaultKind::kNone) return InjectedFault("rename");
+  FaultDecision d = TickWriteOp(FaultOp::kRename);
+  if (d.kind == FaultKind::kCrash) return SimulatedCrash();
+  if (d.kind != FaultKind::kNone) return FaultStatus(d, "rename");
   auto it = files_.find(from);
   if (it == files_.end()) return NotFound(StrCat("rename: no ", from));
   // Atomic and durable: whatever of `from` was durable stays durable
@@ -276,9 +343,9 @@ Status FaultInjectingFileOps::Rename(const std::string& from,
 Status FaultInjectingFileOps::Truncate(const std::string& path,
                                        uint64_t size) {
   if (crashed_) return SimulatedCrash();
-  FaultKind k = TickWriteOp();
-  if (k == FaultKind::kCrash) return SimulatedCrash();
-  if (k != FaultKind::kNone) return InjectedFault("truncate");
+  FaultDecision d = TickWriteOp(FaultOp::kTruncate);
+  if (d.kind == FaultKind::kCrash) return SimulatedCrash();
+  if (d.kind != FaultKind::kNone) return FaultStatus(d, "truncate");
   auto it = files_.find(path);
   if (it == files_.end()) return NotFound(StrCat("truncate: no ", path));
   std::string all = it->second.View();
@@ -296,20 +363,37 @@ Status FaultInjectingFileOps::CreateDir(const std::string& path) {
   return Status::OK();
 }
 
+Result<std::vector<std::string>> FaultInjectingFileOps::ListDir(
+    const std::string& path) {
+  if (crashed_) return Status(SimulatedCrash());
+  // Read-side: never ticks the fault counters.
+  std::vector<std::string> names;
+  const std::string prefix = path + "/";
+  for (const auto& [p, state] : files_) {
+    if (p.size() <= prefix.size() || p.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string rest = p.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(std::move(rest));
+  }
+  return names;
+}
+
 Status FaultInjectingWritableFile::Append(std::string_view data) {
   if (fs_->crashed_) return SimulatedCrash();
-  FaultInjectingFileOps::FaultKind k = fs_->TickWriteOp();
+  FaultInjectingFileOps::FaultDecision d =
+      fs_->TickWriteOp(FaultInjectingFileOps::FaultOp::kAppend);
   auto it = fs_->files_.find(path_);
   if (it == fs_->files_.end()) {
     return NotFound(StrCat("append: no ", path_));
   }
-  switch (k) {
+  switch (d.kind) {
     case FaultInjectingFileOps::FaultKind::kNone:
       it->second.unsynced.append(data);
       return Status::OK();
     case FaultInjectingFileOps::FaultKind::kShortWrite:
       it->second.unsynced.append(data.substr(0, data.size() / 2));
-      return InjectedFault("short write");
+      return FaultInjectingFileOps::FaultStatus(d, "short write");
     case FaultInjectingFileOps::FaultKind::kCrash:
       // The crash lands mid-write: a prefix may have reached the
       // page cache before the process died.
@@ -317,16 +401,19 @@ Status FaultInjectingWritableFile::Append(std::string_view data) {
       return SimulatedCrash();
     case FaultInjectingFileOps::FaultKind::kFail:
     default:
-      return InjectedFault("write");
+      return FaultInjectingFileOps::FaultStatus(d, "write");
   }
 }
 
 Status FaultInjectingWritableFile::Sync() {
   if (fs_->crashed_) return SimulatedCrash();
-  FaultInjectingFileOps::FaultKind k = fs_->TickWriteOp();
-  if (k == FaultInjectingFileOps::FaultKind::kCrash) return SimulatedCrash();
-  if (k != FaultInjectingFileOps::FaultKind::kNone) {
-    return InjectedFault("fsync");
+  FaultInjectingFileOps::FaultDecision d =
+      fs_->TickWriteOp(FaultInjectingFileOps::FaultOp::kSync);
+  if (d.kind == FaultInjectingFileOps::FaultKind::kCrash) {
+    return SimulatedCrash();
+  }
+  if (d.kind != FaultInjectingFileOps::FaultKind::kNone) {
+    return FaultInjectingFileOps::FaultStatus(d, "fsync");
   }
   auto it = fs_->files_.find(path_);
   if (it == fs_->files_.end()) return NotFound(StrCat("fsync: no ", path_));

@@ -62,7 +62,16 @@ class FileOps {
   virtual Status Truncate(const std::string& path, uint64_t size) = 0;
   /// Creates the directory (and parents); OK if it already exists.
   virtual Status CreateDir(const std::string& path) = 0;
+  /// Names (not paths) of the regular files directly inside `path`.
+  /// Used by recovery to sweep stale `*.tmp` files.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
 };
+
+/// True when `st` reports a transient I/O condition (kUnavailable —
+/// ENOSPC, EIO and friends): worth retrying with backoff rather than
+/// treating the device as permanently broken.
+bool IsTransientIoError(const Status& st);
 
 /// The process-wide POSIX implementation.
 FileOps* DefaultFileOps();
@@ -88,11 +97,50 @@ class FaultInjectingFileOps : public FileOps {
     kCrash,
   };
 
+  /// Which write-side operation a scheduled fault targets. kAny counts
+  /// every write-side op; the typed values count only their own kind,
+  /// so "the 2nd fsync" is expressible regardless of interleaved
+  /// appends.
+  enum class FaultOp : uint8_t {
+    kAny = 0,
+    kAppend,
+    kSync,
+    kOpen,
+    kRename,
+    kRemove,
+    kTruncate,
+  };
+
+  /// One scripted fault: ops number `at` .. `at`+`count`-1 (1-based,
+  /// counted per `op` kind since SetSchedule) fail with `kind`, and —
+  /// unlike the legacy ArmFault path, which always reports kInternal —
+  /// the injected error carries `code`, so tests can model transient
+  /// conditions (kUnavailable: EIO that clears, an ENOSPC window) as
+  /// distinct from persistent ones (kInternal: a dead device).
+  struct FaultEvent {
+    FaultOp op = FaultOp::kAny;
+    uint64_t at = 1;
+    uint64_t count = 1;
+    FaultKind kind = FaultKind::kFail;
+    StatusCode code = StatusCode::kUnavailable;
+  };
+
+  /// A deterministic per-op fault script, evaluated front to back: the
+  /// first event matching the current op decides its fate.
+  struct FaultSchedule {
+    std::vector<FaultEvent> events;
+  };
+
   FaultInjectingFileOps() = default;
 
   /// Arms the fault: the `nth` write-side operation from now (1-based)
   /// triggers `kind`. Read-side operations are never counted.
   void ArmFault(FaultKind kind, uint64_t nth);
+
+  /// Installs a fault script and resets the per-op counters it is
+  /// matched against. An empty schedule clears scripting. The legacy
+  /// ArmFault, when armed, takes precedence over the schedule.
+  void SetSchedule(FaultSchedule schedule);
 
   /// Write-side operations performed since construction — run a
   /// workload once un-faulted to learn the boundary count, then rerun
@@ -115,6 +163,7 @@ class FaultInjectingFileOps : public FileOps {
   Status Rename(const std::string& from, const std::string& to) override;
   Status Truncate(const std::string& path, uint64_t size) override;
   Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
 
  private:
   friend class FaultInjectingWritableFile;
@@ -128,9 +177,20 @@ class FaultInjectingFileOps : public FileOps {
     std::string View() const { return durable + unsynced; }
   };
 
-  /// Counts one write-side op; returns the fault to apply to it (the
-  /// op itself must honour kFail/kShortWrite/kCrash), or kNone.
-  FaultKind TickWriteOp();
+  /// The fault a write-side op must honour, and the status code the
+  /// injected error should carry (legacy ArmFault faults are always
+  /// kInternal; scheduled ones carry their event's code).
+  struct FaultDecision {
+    FaultKind kind = FaultKind::kNone;
+    StatusCode code = StatusCode::kInternal;
+  };
+
+  /// Counts one write-side op of kind `op`; returns the fault to apply
+  /// to it (the op itself must honour kFail/kShortWrite/kCrash).
+  FaultDecision TickWriteOp(FaultOp op);
+
+  /// Builds the injected-error status for `decision` at `what`.
+  static Status FaultStatus(const FaultDecision& decision, const char* what);
 
   std::map<std::string, FileState> files_;
   std::map<std::string, bool> dirs_;
@@ -138,6 +198,10 @@ class FaultInjectingFileOps : public FileOps {
   uint64_t fault_at_ = 0;   // op index that triggers, 1-based; 0 = off
   uint64_t op_count_ = 0;
   bool crashed_ = false;
+  FaultSchedule schedule_;
+  /// Per-FaultOp counters the schedule is matched against (index 0 =
+  /// kAny = all write-side ops); reset by SetSchedule.
+  uint64_t sched_counts_[7] = {0, 0, 0, 0, 0, 0, 0};
 };
 
 }  // namespace pathlog

@@ -13,11 +13,22 @@ const std::vector<Oid> kEmptyOids;
 const std::vector<uint32_t> kEmptyIdx;
 const std::vector<ScalarEntry> kEmptyScalar;
 const std::vector<SetGroup> kEmptySet;
+
+// ApproxBytes() charges a flat overhead per container slot (hash node,
+// vector slack, bookkeeping) instead of walking containers — the
+// estimate must be monotone and O(1) per mutation, not exact.
+constexpr uint64_t kSlotOverhead = 48;
+
+uint64_t FactBytes(const Fact& f) {
+  return sizeof(Fact) + f.args.size() * sizeof(Oid);
+}
 }  // namespace
 
 ObjectStore::ObjectStore() = default;
 
 Oid ObjectStore::AddObject(ObjectInfo info) {
+  // ObjectInfo in the table plus the intern-map node most objects get.
+  approx_bytes_ += sizeof(ObjectInfo) + info.name.size() + kSlotOverhead;
   objects_.push_back(std::move(info));
   if (metrics_.objects != nullptr) metrics_.objects->Inc();
   return static_cast<Oid>(objects_.size() - 1);
@@ -106,6 +117,7 @@ Status ObjectStore::AddIsa(Oid sub, Oid super) {
   }
 
   up_edges_[sub].push_back(super);
+  approx_bytes_ += sizeof(Oid) + kSlotOverhead;
 
   // Incrementally extend the reachability closure: every x <= sub
   // (including sub) now reaches every y >= super (including super).
@@ -126,15 +138,20 @@ Status ObjectStore::AddIsa(Oid sub, Oid super) {
       if (xs.emplace(y, gen).second) {
         ancestors_[x].push_back(y);
         ancestor_gens_[x].push_back(gen);
+        // Closure pair: anc_set node + ancestors/gens slots, mirrored
+        // on the member side below.
+        approx_bytes_ += kSlotOverhead + sizeof(Oid) + sizeof(uint64_t);
         if (member_set_[y].insert(x).second) {
           members_[y].push_back(x);
           member_gens_[y].push_back(gen);
+          approx_bytes_ += kSlotOverhead + sizeof(Oid) + sizeof(uint64_t);
         }
       }
     }
   }
 
   log_.push_back(Fact{FactKind::kIsa, super, sub, {}, kNilOid});
+  approx_bytes_ += FactBytes(log_.back());
   if (metrics_.isa_facts != nullptr) metrics_.isa_facts->Inc();
   return Status::OK();
 }
@@ -209,6 +226,10 @@ Status ObjectStore::SetScalar(Oid m, Oid recv, const std::vector<Oid>& args,
   t.stats.Update(value, bucket.size(), /*is_new_value=*/bucket.size() == 1,
                  log_.size());
   log_.push_back(Fact{FactKind::kScalar, m, recv, args, value});
+  // Entry + key copy of the args, plus index/by_recv/by_value slots.
+  approx_bytes_ += sizeof(ScalarEntry) +
+                   2 * args.size() * sizeof(Oid) + 3 * kSlotOverhead +
+                   FactBytes(log_.back());
   if (metrics_.scalar_facts != nullptr) metrics_.scalar_facts->Inc();
   return Status::OK();
 }
@@ -280,6 +301,9 @@ bool ObjectStore::AddSetMember(Oid m, Oid recv, const std::vector<Oid>& args,
     t.groups.push_back(std::move(g));
     t.index.emplace(std::move(key), gi);
     t.by_recv[recv].push_back(gi);
+    // Group + key copy of the args, plus index/by_recv slots.
+    approx_bytes_ += sizeof(SetGroup) + 2 * args.size() * sizeof(Oid) +
+                     2 * kSlotOverhead;
   } else {
     gi = it->second;
   }
@@ -292,6 +316,10 @@ bool ObjectStore::AddSetMember(Oid m, Oid recv, const std::vector<Oid>& args,
   g.members.push_back(value);
   g.member_gens.push_back(log_.size());
   log_.push_back(Fact{FactKind::kSetMember, m, recv, args, value});
+  // Membership: member_set node + members/gens slots + by_member ref.
+  approx_bytes_ += kSlotOverhead + sizeof(Oid) + sizeof(uint64_t) +
+                   sizeof(SetMemberRef) + kSlotOverhead +
+                   FactBytes(log_.back());
   if (metrics_.set_facts != nullptr) metrics_.set_facts->Inc();
   return true;
 }

@@ -275,6 +275,15 @@ class ObjectStore {
   };
   Stats ComputeStats() const;
 
+  /// Approximate heap bytes retained by the store: object table +
+  /// intern maps, hierarchy closure pairs, method tables with their
+  /// inverted-index buckets, and the fact log. Maintained
+  /// incrementally by every mutator (flat per-slot estimates plus
+  /// string payloads), so reads are free and snapshot/WAL replay
+  /// rebuilds the figure exactly (replay re-runs the mutators). This
+  /// is the quantity ResourceBudget's byte dimension governs.
+  uint64_t ApproxBytes() const { return approx_bytes_; }
+
   // --- Observability -------------------------------------------------
 
   /// Attaches a metrics registry (nullptr detaches). From this point
@@ -343,6 +352,8 @@ class ObjectStore {
   std::unordered_map<Oid, SetTable> setval_;
 
   std::vector<Fact> log_;
+
+  uint64_t approx_bytes_ = 0;
 };
 
 }  // namespace pathlog

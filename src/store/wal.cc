@@ -275,7 +275,9 @@ Status WalAppender::Append(std::string_view payload) {
   AppendWalFrame(&frame, payload);
   if (appends_ != nullptr) appends_->Inc();
   if (append_bytes_ != nullptr) append_bytes_->Inc(frame.size());
-  return file_->Append(frame);
+  Status st = file_->Append(frame);
+  if (st.ok()) appended_bytes_ += frame.size();
+  return st;
 }
 
 Status WalAppender::Sync() {

@@ -123,8 +123,14 @@ class WalAppender {
   Status Append(std::string_view payload);
   Status Sync();
 
+  /// Framed bytes successfully appended through this appender (frame
+  /// header + payload). The database adds this to the recovered log
+  /// size to decide when to rotate the segment.
+  uint64_t appended_bytes() const { return appended_bytes_; }
+
  private:
   std::unique_ptr<FileOps::WritableFile> file_;
+  uint64_t appended_bytes_ = 0;
   Counter* appends_ = nullptr;
   Counter* append_bytes_ = nullptr;
   Counter* fsyncs_ = nullptr;

@@ -1,0 +1,246 @@
+// Resource governance: the ResourceBudget unit contract (dimension
+// ordering, cancellation, injectable clock, once-per-window rejection
+// accounting) and its end-to-end behaviour through Database — a
+// memory-budgeted runaway recursion must come back as
+// kResourceExhausted naming the byte dimension with stratum/rule
+// context, never as a bare deadline.
+
+#include "base/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "eval/engine.h"
+#include "query/database.h"
+
+namespace pathlog {
+namespace {
+
+// The never-terminating program from engine_test: every object gets a
+// fresh virtual successor carrying the same property.
+constexpr std::string_view kRunaway = R"(
+  z[count->1].
+  X.succ[count->1] <- X[count->1].
+)";
+
+TEST(BudgetTest, DefaultBudgetIsUnlimited) {
+  ResourceBudget b;
+  b.Arm();
+  b.ChargeDerivations(1'000'000);
+  EXPECT_TRUE(b.Check(1ull << 40).ok());
+  EXPECT_TRUE(b.CheckControl().ok());
+  EXPECT_EQ(b.rejections(), 0u);
+}
+
+TEST(BudgetTest, CancelTokenCopiesShareState) {
+  CancelToken a;
+  CancelToken b = a;  // copy, not a fresh flag
+  EXPECT_FALSE(b.cancelled());
+  a.Cancel();
+  EXPECT_TRUE(b.cancelled());
+  b.Reset();
+  EXPECT_FALSE(a.cancelled());
+}
+
+TEST(BudgetTest, CancellationOutranksEveryDimension) {
+  ResourceBudget b({1, 1, 1});
+  b.Arm();
+  b.token().Cancel();
+  EXPECT_EQ(b.Check(1000).code(), StatusCode::kCancelled);
+  EXPECT_EQ(b.CheckControl().code(), StatusCode::kCancelled);
+}
+
+TEST(BudgetTest, BytesDimensionTripsAsResourceExhausted) {
+  ResourceBudget b({100, 0, 0});
+  b.Arm();
+  Status st = b.Check(101);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("bytes dimension"), std::string::npos) << st;
+  EXPECT_TRUE(b.Check(100).ok());  // at the limit is within budget
+}
+
+TEST(BudgetTest, DerivationsDimensionTripsAsResourceExhausted) {
+  ResourceBudget b({0, 4, 0});
+  b.Arm();
+  b.ChargeDerivations(4);
+  EXPECT_TRUE(b.Check(0).ok());
+  b.ChargeDerivations();
+  Status st = b.Check(0);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("derivations dimension"), std::string::npos)
+      << st;
+}
+
+TEST(BudgetTest, WallDimensionUsesInjectedClockAndTripsAsDeadline) {
+  ResourceBudget b({0, 0, 50});
+  uint64_t now = 1000;
+  b.set_clock([&now] { return now; });
+  b.Arm();
+  now += 50;
+  EXPECT_TRUE(b.CheckControl().ok());
+  now += 1;
+  Status st = b.CheckControl();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("wall-ms dimension"), std::string::npos) << st;
+}
+
+TEST(BudgetTest, WallClockOnlyCountsWhileArmed) {
+  ResourceBudget b({0, 0, 1});
+  uint64_t now = 0;
+  b.set_clock([&now] { return now; });
+  now = 1'000'000;  // eons pass before the operation starts
+  EXPECT_TRUE(b.CheckControl().ok()) << "unarmed budget has no deadline";
+  b.Arm();  // the window starts here, not at construction
+  EXPECT_TRUE(b.CheckControl().ok());
+  now += 2;
+  EXPECT_EQ(b.CheckControl().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(BudgetTest, BytesOutrankTheLapsedDeadline) {
+  // Both dimensions are blown; Check must report the bytes dimension so
+  // a memory-budgeted runaway is never misdiagnosed as slow.
+  ResourceBudget b({100, 0, 1});
+  uint64_t now = 0;
+  b.set_clock([&now] { return now; });
+  b.Arm();
+  now += 10'000;
+  EXPECT_EQ(b.Check(1000).code(), StatusCode::kResourceExhausted);
+  // The control-only probe sees just the deadline.
+  EXPECT_EQ(b.CheckControl().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(BudgetTest, RejectionsCountOncePerArmedWindow) {
+  ResourceBudget b({100, 0, 0});
+  b.Arm();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(b.Check(1000).ok());  // polled repeatedly after the trip
+  }
+  EXPECT_EQ(b.rejections(), 1u) << "one rejected operation, not five polls";
+  b.Arm();
+  EXPECT_TRUE(b.Check(50).ok());
+  EXPECT_EQ(b.rejections(), 1u) << "a clean window adds nothing";
+  b.Arm();
+  EXPECT_FALSE(b.Check(1000).ok());
+  EXPECT_EQ(b.rejections(), 2u);
+}
+
+TEST(BudgetTest, ArmResetsTheDerivationCount) {
+  ResourceBudget b({0, 10, 0});
+  b.Arm();
+  b.ChargeDerivations(10);
+  EXPECT_EQ(b.derivations(), 10u);
+  b.Arm();
+  EXPECT_EQ(b.derivations(), 0u);
+  EXPECT_TRUE(b.Check(0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through Database.
+// ---------------------------------------------------------------------------
+
+TEST(BudgetTest, MemoryBudgetedRunawayNamesTheByteDimension) {
+  // The acceptance case: a runaway recursion under a byte budget (with
+  // a generous wall budget also set) must return kResourceExhausted
+  // naming bytes and the offending stratum/rule — not
+  // kDeadlineExceeded, and not an unexplained guard trip.
+  ResourceBudget budget({/*max_store_bytes=*/1ull << 20,
+                         /*max_derivations=*/0,
+                         /*max_wall_ms=*/600'000});
+  DatabaseOptions opts;
+  opts.engine.budget = &budget;
+  Database db(opts);
+  ASSERT_TRUE(db.Load(std::string(kRunaway)).ok());
+  Status st = db.Materialize();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  EXPECT_NE(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("bytes dimension"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("in stratum"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("X.succ[count->1]"), std::string::npos) << st;
+  EXPECT_EQ(budget.rejections(), 1u);
+}
+
+TEST(BudgetTest, DerivationBudgetedRunawayStopsAtTheCount) {
+  ResourceBudget budget({0, /*max_derivations=*/500, 0});
+  DatabaseOptions opts;
+  opts.engine.budget = &budget;
+  Database db(opts);
+  ASSERT_TRUE(db.Load(std::string(kRunaway)).ok());
+  Status st = db.Materialize();
+  ASSERT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  EXPECT_NE(st.message().find("derivations dimension"), std::string::npos)
+      << st;
+}
+
+TEST(BudgetTest, WallBudgetedRunawayIsDeterministicWithAFakeClock) {
+  ResourceBudget budget({0, 0, /*max_wall_ms=*/50});
+  uint64_t now = 0;
+  budget.set_clock([&now] {
+    now += 10;  // every poll costs 10 fake milliseconds
+    return now;
+  });
+  DatabaseOptions opts;
+  opts.engine.budget = &budget;
+  Database db(opts);
+  ASSERT_TRUE(db.Load(std::string(kRunaway)).ok());
+  Status st = db.Materialize();
+  ASSERT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st;
+  EXPECT_NE(st.message().find("wall-ms dimension"), std::string::npos) << st;
+}
+
+TEST(BudgetTest, CancelTokenAbortsQueriesUntilReset) {
+  ResourceBudget budget;  // no limits: only the token can stop anything
+  DatabaseOptions opts;
+  opts.engine.budget = &budget;
+  Database db(opts);
+  ASSERT_TRUE(db.Load("p1 : employee. p1[salary->1000].").ok());
+  Result<ResultSet> ok = db.Query("?- X:employee[salary->S].");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->rows().size(), 1u);
+
+  budget.token().Cancel();
+  Result<ResultSet> r = db.Query("?- X:employee[salary->S].");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << r.status();
+  Result<std::vector<Oid>> e = db.Eval("p1.salary");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+  Result<bool> h = db.Holds("p1[salary->1000]");
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(budget.rejections(), 3u);
+
+  budget.token().Reset();
+  Result<ResultSet> again = db.Query("?- X:employee[salary->S].");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->rows().size(), 1u);
+}
+
+TEST(BudgetTest, ReadOnlyQueriesRespectTheWallBudget) {
+  // A query over an already-materialised store goes through the
+  // reference evaluator's control probe, not the engine loop.
+  ResourceBudget budget({0, 0, 50});
+  uint64_t now = 0;
+  budget.set_clock([&now] { return now; });
+  DatabaseOptions opts;
+  opts.engine.budget = &budget;
+  Database db(opts);
+  ASSERT_TRUE(db.Load("p1 : employee. p1[salary->1000].").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  now += 1000;  // the next query's window starts here; clock then stalls
+  Result<ResultSet> ok = db.Query("?- X:employee[salary->S].");
+  EXPECT_TRUE(ok.ok()) << ok.status();
+
+  // Now a clock that lapses mid-enumeration.
+  budget.set_clock([&now] {
+    now += 60;
+    return now;
+  });
+  Result<ResultSet> r = db.Query("?- X:employee[salary->S].");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << r.status();
+}
+
+}  // namespace
+}  // namespace pathlog

@@ -217,8 +217,9 @@ TEST(DurableDatabaseTest, WalReplayRebuildsMethodStatistics) {
   FaultInjectingFileOps fs;
   std::string program = "hub[site->metro].\n";
   for (int i = 0; i < 30; ++i) {
-    program += "m" + std::to_string(i) + "[city->metro].\n";
-    program += "m" + std::to_string(i) + "[likes->>{metro}].\n";
+    const std::string i_str = std::to_string(i);
+    program += "m" + i_str + "[city->metro].\n";
+    program += "m" + i_str + "[likes->>{metro}].\n";
   }
   program += "outlier[city->village].\noutlier[likes->>{village}].\n";
 
@@ -301,8 +302,8 @@ TEST(DurableDatabaseTest, AutoCheckpointTriggersByRecordCount) {
   Result<Database> db = Database::Open("/db", DurableOptions(4), &fs);
   ASSERT_TRUE(db.ok()) << db.status();
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(db->Load("p" + std::to_string(i) + "[v->" +
-                         std::to_string(i) + "].").ok());
+    const std::string i_str = std::to_string(i);
+    ASSERT_TRUE(db->Load("p" + i_str + "[v->" + i_str + "].").ok());
   }
   // Enough commits ran that at least one auto-checkpoint must have
   // fired: the WAL holds fewer records than the workload produced.
@@ -322,23 +323,38 @@ TEST(DurableDatabaseTest, WalWriteErrorLatchesUntilCheckpoint) {
   ASSERT_TRUE(db->Load("a[m->1].").ok());
 
   fs.ArmFault(FaultKind::kFail, 1);
+  // The legacy armed fault reports kInternal — a persistent failure,
+  // so the database degrades to read-only immediately (no retries).
   EXPECT_FALSE(db->Load("b[m->2].").ok());
-  // The append may have torn the log's middle; further appends would
-  // silently lose everything after the tear, so commits stay broken...
-  EXPECT_FALSE(db->Load("c[m->3].").ok());
-  // ...until a checkpoint rebuilds the log from scratch.
+  EXPECT_TRUE(db->degraded());
+  // While degraded, mutations fail fast with kUnavailable *before*
+  // touching the store: c never lands, even in memory.
+  Status c_st = db->Load("c[m->3].");
+  EXPECT_EQ(c_st.code(), StatusCode::kUnavailable) << c_st.ToString();
+  // Queries keep serving the last consistent state.
+  Result<bool> a_holds = db->Holds("a[m->1]");
+  ASSERT_TRUE(a_holds.ok());
+  EXPECT_TRUE(*a_holds);
+  // ...until a checkpoint rebuilds the log from scratch and restores
+  // read-write service.
   ASSERT_TRUE(db->Checkpoint().ok());
+  EXPECT_FALSE(db->degraded());
   EXPECT_TRUE(db->Load("d[m->4].").ok());
+  EXPECT_EQ(db->Health().degraded_entries, 1u);
 
   Result<Database> reopened = Database::Open("/db", DurableOptions(), &fs);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
-  // b and c reached the store before their commits failed; the
-  // checkpoint persisted the store wholesale, so nothing is lost.
-  for (const char* q : {"a[m->1]", "b[m->2]", "c[m->3]", "d[m->4]"}) {
+  // b reached the store before its commit failed; the checkpoint
+  // persisted the store wholesale, so it survives. c was rejected by
+  // the degraded gate and must NOT resurface.
+  for (const char* q : {"a[m->1]", "b[m->2]", "d[m->4]"}) {
     Result<bool> h = reopened->Holds(q);
     ASSERT_TRUE(h.ok()) << q;
     EXPECT_TRUE(*h) << q;
   }
+  Result<bool> c_holds = reopened->Holds("c[m->3]");
+  ASSERT_TRUE(c_holds.ok());
+  EXPECT_FALSE(*c_holds);
 }
 
 TEST(DurableDatabaseTest, CorruptWalIsReportedNotReplayed) {
@@ -573,6 +589,87 @@ TEST(DurableDatabaseTest, FsyncNeverLosesOnlyTheUnsyncedTail) {
   // Recovery must still succeed — on whatever prefix reached "disk".
   Result<Database> db = Database::Open("/db", opts, &fs);
   ASSERT_TRUE(db.ok()) << db.status();
+}
+
+TEST(DurableDatabaseTest, StaleTempFilesAreSweptOnOpen) {
+  // A crash between writing snapshot.plgdb.tmp and renaming it leaves
+  // the temp file behind. Open must sweep every *.tmp in the database
+  // directory — and nothing else.
+  FaultInjectingFileOps fs;
+  {
+    Result<Database> db = Database::Open("/db", DurableOptions(), &fs);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE(db->Load("a[m->1].").ok());
+  }
+  for (const char* path : {"/db/snapshot.plgdb.tmp", "/db/other.tmp"}) {
+    Result<std::unique_ptr<FileOps::WritableFile>> f =
+        fs.OpenForWrite(path, /*truncate=*/true);
+    ASSERT_TRUE(f.ok()) << f.status();
+    ASSERT_TRUE((*f)->Append("stale garbage").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  {
+    Result<std::unique_ptr<FileOps::WritableFile>> f =
+        fs.OpenForWrite("/db/keep.dat", /*truncate=*/true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("not a temp file").ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+
+  Result<Database> db = Database::Open("/db", DurableOptions(), &fs);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_FALSE(fs.Exists("/db/snapshot.plgdb.tmp"));
+  EXPECT_FALSE(fs.Exists("/db/other.tmp"));
+  EXPECT_TRUE(fs.Exists("/db/keep.dat")) << "the sweep is *.tmp only";
+  Result<bool> holds = db->Holds("a[m->1]");
+  ASSERT_TRUE(holds.ok());
+  EXPECT_TRUE(*holds);
+}
+
+TEST(DurableDatabaseTest, TriggerDeadlineLeavesARecoverableConsistentState) {
+  // A wall deadline lapses mid-trigger-cascade in a durable session.
+  // The failed round must not advance the watermark past anything
+  // uncommitted: after a reopen (deadline-free), re-firing completes
+  // to exactly the state a never-interrupted run reaches.
+  FaultInjectingFileOps fs;
+  constexpr std::string_view kCascade = R"(
+    X[lvl2->1] <~ X[lvl1->1].
+    X[lvl3->1] <~ X[lvl2->1].
+    X[lvl4->1] <~ X[lvl3->1].
+    seed[lvl1->1].
+  )";
+  {
+    uint64_t now = 0;
+    DatabaseOptions opts = DurableOptions();
+    opts.triggers.max_wall_ms = 50;
+    opts.triggers.wall_clock = [&now] {
+      now += 30;
+      return now;
+    };
+    Result<Database> db = Database::Open("/db", opts, &fs);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE(db->Load(std::string(kCascade)).ok());
+    Status st = db->FireTriggers();
+    ASSERT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st;
+    EXPECT_NE(st.message().find("during trigger round"), std::string::npos)
+        << st;
+  }
+
+  Result<Database> db = Database::Open("/db", DurableOptions(), &fs);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE(db->FireTriggers().ok());
+
+  Database oracle;
+  ASSERT_TRUE(oracle.Load(std::string(kCascade)).ok());
+  ASSERT_TRUE(oracle.FireTriggers().ok());
+  EXPECT_EQ(db->store().FactCount(), oracle.store().FactCount());
+  for (const char* ref : {"seed[lvl2->1]", "seed[lvl3->1]",
+                          "seed[lvl4->1]"}) {
+    Result<bool> got = db->Holds(ref);
+    ASSERT_TRUE(got.ok()) << ref;
+    EXPECT_TRUE(*got) << ref;
+  }
 }
 
 }  // namespace

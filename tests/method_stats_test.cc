@@ -162,7 +162,8 @@ TEST(MethodStatsTest, StoreMaintainsScalarAndSetStatsIncrementally) {
   Oid metro = store.InternSymbol("metro");
   Oid village = store.InternSymbol("village");
   for (int i = 0; i < 9; ++i) {
-    Oid r = store.InternSymbol("r" + std::to_string(i));
+    const std::string suffix = std::to_string(i);
+    Oid r = store.InternSymbol("r" + suffix);
     ASSERT_TRUE(store.SetScalar(city, r, {}, metro).ok());
     EXPECT_TRUE(store.AddSetMember(likes, r, {}, metro));
   }

@@ -9,11 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include "base/budget.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "query/database.h"
+#include "store/file_ops.h"
 
 namespace pathlog {
 namespace {
@@ -371,6 +373,62 @@ TEST(ObsEndToEndTest, TriggerMetricsAccumulate) {
   EXPECT_GE((*samples)["pathlog_trigger_rounds_total"], 1.0);
   EXPECT_GE((*samples)["pathlog_trigger_firings_total"], 1.0);
   EXPECT_GE((*samples)["pathlog_trigger_facts_total"], 1.0);
+}
+
+TEST(ObsEndToEndTest, GovernanceMetricsExportOnBothFormatsIdentically) {
+  // Drive every resource-governance metric at least once — a retried
+  // transient WAL fault, a size-triggered rotation, a degraded-mode
+  // entry and exit, and a budget rejection — then require the JSON and
+  // Prometheus exports to flatten to the same samples.
+  using FaultKind = FaultInjectingFileOps::FaultKind;
+  using FaultOp = FaultInjectingFileOps::FaultOp;
+  MetricsRegistry reg;
+  FaultInjectingFileOps fs;
+  ResourceBudget budget;
+  DatabaseOptions opts;
+  opts.engine.budget = &budget;
+  opts.durability.rotate_wal_bytes = 1;  // every commit rotates
+  opts.durability.backoff_sleep = [](uint64_t) {};
+  Result<Database> db = Database::Open("/db", opts, &fs);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ObsSinks sinks;
+  sinks.metrics = &reg;
+  db->SetObsSinks(sinks);
+
+  // One transient fsync failure: retried, then the commit rotates.
+  FaultInjectingFileOps::FaultSchedule sched;
+  sched.events.push_back({FaultOp::kSync, 1, 1, FaultKind::kFail,
+                          StatusCode::kUnavailable});
+  fs.SetSchedule(sched);
+  ASSERT_TRUE(db->Load("a[v->1].").ok());
+
+  // A persistent failure degrades; the checkpoint probe recovers.
+  sched.events[0] = {FaultOp::kAppend, 1, 1, FaultKind::kFail,
+                     StatusCode::kInternal};
+  fs.SetSchedule(sched);
+  ASSERT_FALSE(db->Load("b[v->2].").ok());
+  ASSERT_TRUE(db->degraded());
+  fs.SetSchedule({});
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  // A cancelled query is a budget rejection.
+  budget.token().Cancel();
+  ASSERT_FALSE(db->Query("?- X[v->V].").ok());
+  budget.token().Reset();
+
+  Result<MetricsSamples> from_json = ParseMetricsJson(reg.ToJson());
+  ASSERT_TRUE(from_json.ok()) << from_json.status();
+  Result<MetricsSamples> from_prom =
+      ParseMetricsPrometheusText(reg.ToPrometheusText());
+  ASSERT_TRUE(from_prom.ok()) << from_prom.status();
+  EXPECT_EQ(*from_json, *from_prom);
+
+  EXPECT_DOUBLE_EQ((*from_json)["pathlog_wal_retries_total"], 1.0);
+  EXPECT_GE((*from_json)["pathlog_wal_rotations_total"], 1.0);
+  EXPECT_DOUBLE_EQ((*from_json)["pathlog_db_degraded_entries_total"], 1.0);
+  EXPECT_DOUBLE_EQ((*from_json)["pathlog_db_degraded"], 0.0)
+      << "the recovery checkpoint must clear the gauge";
+  EXPECT_GE((*from_json)["pathlog_budget_rejections_total"], 1.0);
 }
 
 }  // namespace

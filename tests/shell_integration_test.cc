@@ -170,6 +170,62 @@ TEST(ShellTest, DurableFlagRequiresADirectory) {
   EXPECT_NE(output.find("--durable requires"), std::string::npos);
 }
 
+TEST(ShellTest, DurableOpenFailureExitsNonzeroWithAMessage) {
+  // --durable pointing at a regular file cannot be opened as a
+  // database directory: the shell must exit nonzero and say why on
+  // stderr, not limp on with an in-memory session.
+  const std::string not_a_dir = ::testing::TempDir() + "/shell_not_a_dir." +
+                                std::to_string(::getpid());
+  {
+    std::ofstream out(not_a_dir);
+    out << "just a file";
+  }
+  std::string cmd = std::string(PATHLOG_SHELL_PATH) + " --durable " +
+                    not_a_dir + " </dev/null 2>&1";
+  std::array<char, 4096> buffer;
+  std::string output;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  int rc = pclose(pipe);
+  EXPECT_NE(rc, 0) << output;
+  EXPECT_NE(output.find(not_a_dir), std::string::npos) << output;
+  EXPECT_EQ(output.find("durable session at"), std::string::npos)
+      << "no session banner on a failed open: " << output;
+  std::remove(not_a_dir.c_str());
+}
+
+TEST(ShellTest, HealthCommandReportsInMemoryMode) {
+  std::string out = RunShell(
+      "mary : employee[age->30].\n"
+      "\\health\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("durable:          no"), std::string::npos) << out;
+  EXPECT_NE(out.find("mode:             read-write"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("degraded entries: 0"), std::string::npos) << out;
+  EXPECT_NE(out.find("objects:"), std::string::npos) << out;
+}
+
+TEST(ShellTest, HealthCommandReportsDurableSession) {
+  const std::string dir = ::testing::TempDir() + "/shell_health_durable." +
+                          std::to_string(::getpid());
+  std::string out = RunShell(
+      "p1 : employee.\n"
+      "\\health\n"
+      "\\quit\n",
+      "--durable " + dir);
+  EXPECT_NE(out.find("durable:          yes"), std::string::npos) << out;
+  EXPECT_NE(out.find("mode:             read-write"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("wal retries:      0"), std::string::npos) << out;
+  std::remove((dir + "/snapshot.plgdb").c_str());
+  std::remove((dir + "/wal.plgwal").c_str());
+  std::remove(dir.c_str());
+}
+
 TEST(ShellTest, MetricsCommandPrintsPrometheusText) {
   std::string out = RunShell(
       "mary : employee[age->30].\n"

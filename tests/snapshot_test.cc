@@ -271,12 +271,14 @@ TEST(SnapshotTest, RoundTripRebuildsMethodStatistics) {
   Oid likes = store.InternSymbol("likes");
   Oid metro = store.InternSymbol("metro");
   for (int i = 0; i < 25; ++i) {
-    Oid r = store.InternSymbol("skew" + std::to_string(i));
+    const std::string i_str = std::to_string(i);
+    Oid r = store.InternSymbol("skew" + i_str);
     ASSERT_TRUE(store.SetScalar(city, r, {}, metro).ok());
     ASSERT_TRUE(store.AddSetMember(likes, r, {}, metro));
     // Repeats after the first three: duplicate memberships add no
     // facts and must leave the stats untouched on both sides.
-    Oid v = store.InternSymbol("v" + std::to_string(i % 3));
+    const std::string v_str = std::to_string(i % 3);
+    Oid v = store.InternSymbol("v" + v_str);
     store.AddSetMember(likes, metro, {}, v);
   }
 

@@ -34,6 +34,13 @@ TEST(StatusTest, EveryConstructorMapsToItsCode) {
   EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, NewCodesHaveNames) {
+  EXPECT_EQ(Unavailable("disk").ToString(), "Unavailable: disk");
+  EXPECT_EQ(Cancelled("stop").ToString(), "Cancelled: stop");
 }
 
 TEST(StatusTest, CopyIsCheapAndShared) {

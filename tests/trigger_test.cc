@@ -167,5 +167,46 @@ TEST(TriggerTest, TriggersSurviveDatabaseSnapshot) {
   std::remove(path.c_str());
 }
 
+TEST(TriggerTest, WallDeadlineStopsTheCascadeMidwayAndALaterFireCompletes) {
+  // A three-round cascade under a wall deadline driven by a fake clock
+  // that burns 30 fake ms per reading against a 50 ms budget: the
+  // cascade must stop with kDeadlineExceeded naming the trigger round,
+  // and a later fire (with time stalled) must finish the job from the
+  // watermark — nothing lost, nothing fired twice.
+  uint64_t now = 0;
+  uint64_t step = 30;
+  DatabaseOptions opts;
+  opts.triggers.max_wall_ms = 50;
+  opts.triggers.wall_clock = [&now, &step] {
+    now += step;
+    return now;
+  };
+  Database db(opts);
+  ASSERT_TRUE(db.Load(R"(
+    X[lvl2->1] <~ X[lvl1->1].
+    X[lvl3->1] <~ X[lvl2->1].
+    X[lvl4->1] <~ X[lvl3->1].
+    seed[lvl1->1].
+  )").ok());
+  Status st = db.FireTriggers();
+  ASSERT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st;
+  EXPECT_NE(st.message().find("during trigger round"), std::string::npos)
+      << st;
+  Result<bool> last = db.Holds("seed[lvl4->1]");
+  ASSERT_TRUE(last.ok());
+  EXPECT_FALSE(*last) << "the deadline must interrupt the cascade";
+
+  step = 0;  // the clock stalls: the same deadline can no longer lapse
+  ASSERT_TRUE(db.FireTriggers().ok());
+  uint64_t firings = db.trigger_stats().firings;
+  EXPECT_EQ(firings, 3u) << "each level fires exactly once across fires";
+  for (const char* ref : {"seed[lvl2->1]", "seed[lvl3->1]",
+                          "seed[lvl4->1]"}) {
+    Result<bool> holds = db.Holds(ref);
+    ASSERT_TRUE(holds.ok()) << ref;
+    EXPECT_TRUE(*holds) << ref;
+  }
+}
+
 }  // namespace
 }  // namespace pathlog

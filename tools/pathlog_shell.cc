@@ -49,6 +49,8 @@ constexpr const char* kHelp = R"(PathLog shell commands:
   \save <file>      save a binary snapshot (facts, rules, signatures)
   \restore <file>   replace the session with a saved snapshot
   \checkpoint       durable sessions: snapshot now and reset the WAL
+  \health           durability/degraded-mode health: WAL retries,
+                    rotations, degraded state and cause, store size
   \quit             exit
 )";
 
@@ -331,6 +333,30 @@ class Shell {
     } else if (cmd == "\\checkpoint") {
       pathlog::Status st = db_.Checkpoint();
       printf("%s\n", st.ok() ? "checkpointed." : st.ToString().c_str());
+    } else if (cmd == "\\health") {
+      pathlog::DatabaseHealth h = db_.Health();
+      printf("durable:          %s\n", h.durable ? "yes" : "no");
+      printf("mode:             %s\n",
+             h.degraded ? "DEGRADED (read-only)" : "read-write");
+      if (h.degraded) {
+        printf("degraded cause:   %s\n", h.degraded_cause.c_str());
+      }
+      printf("degraded entries: %llu\n",
+             static_cast<unsigned long long>(h.degraded_entries));
+      printf("wal retries:      %llu\n",
+             static_cast<unsigned long long>(h.wal_retries));
+      printf("wal rotations:    %llu\n",
+             static_cast<unsigned long long>(h.wal_rotations));
+      printf("wal records:      %llu\n",
+             static_cast<unsigned long long>(h.wal_records));
+      printf("wal bytes:        %llu\n",
+             static_cast<unsigned long long>(h.wal_bytes));
+      printf("store bytes:      ~%llu\n",
+             static_cast<unsigned long long>(h.store_bytes));
+      printf("objects:          %llu\n",
+             static_cast<unsigned long long>(h.objects));
+      printf("facts:            %llu\n",
+             static_cast<unsigned long long>(h.facts));
     } else if (cmd == "\\quit" || cmd == "\\q") {
       done_ = true;
     } else {
