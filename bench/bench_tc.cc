@@ -18,6 +18,8 @@
 
 #include "base/budget.h"
 #include "bench_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/query_log.h"
 #include "workload/kinship.h"
 
 namespace pathlog {
@@ -237,14 +239,51 @@ double TimedMaterializeMs(bool budget_on, ResourceBudget* budget,
   return ms;
 }
 
-void RunPaired(benchmark::State& state, bool budget_pair) {
+// Full serving-diagnostics twin: metrics + flight recorder + an
+// in-memory query log — the sinks `\stats_server` wires up — timing a
+// materialisation plus one closure lookup so the query-log append path
+// is exercised, not just the engine spans.
+double TimedDiagMs(bool diag_on, int64_t n) {
+  DatabaseOptions opts;
+  opts.engine.strategy = EvalStrategy::kSemiNaiveRules;
+  Database db(opts);
+  FlightRecorder flight(256);
+  QueryLog query_log(QueryLogOptions{});
+  if (diag_on) {
+    ObsSinks sinks;
+    sinks.metrics = &bench::BenchMetrics();
+    sinks.flight = &flight;
+    sinks.query_log = &query_log;
+    db.SetObsSinks(sinks);
+  }
+  BuildGraph(&db.store(), Shape::kTree, n);
+  bench::Check(db.Load(kDescRules), "load rules");
+  const double t0 = ThreadCpuMs();
+  bench::Check(db.Materialize(), "materialize");
+  std::vector<Oid> descendants =
+      bench::CheckResult(db.Eval("t0..desc"), "eval");
+  const double ms = ThreadCpuMs() - t0;
+  benchmark::DoNotOptimize(descendants);
+  return ms;
+}
+
+enum class PairKind { kBudget, kObs, kDiag };
+
+void RunPaired(benchmark::State& state, PairKind kind) {
   ResourceBudget budget(ResourceLimits{/*max_store_bytes=*/1ull << 40,
                                        /*max_derivations=*/1ull << 40,
                                        /*max_wall_ms=*/600'000});
   const int64_t n = state.range(0);
   auto run = [&](bool on) {
-    return budget_pair ? TimedMaterializeMs(on, &budget, false, n)
-                       : TimedMaterializeMs(false, nullptr, on, n);
+    switch (kind) {
+      case PairKind::kBudget:
+        return TimedMaterializeMs(on, &budget, false, n);
+      case PairKind::kObs:
+        return TimedMaterializeMs(false, nullptr, on, n);
+      case PairKind::kDiag:
+        return TimedDiagMs(on, n);
+    }
+    return 0.0;
   };
   double off_ms = 0, on_ms = 0;
   for (auto _ : state) {
@@ -264,15 +303,21 @@ void RunPaired(benchmark::State& state, bool budget_pair) {
 // core, so each repetition's ratio must average several pairs to be
 // worth gating on.
 void BM_Engine_BudgetChecksPaired(benchmark::State& state) {
-  RunPaired(state, /*budget_pair=*/true);
+  RunPaired(state, PairKind::kBudget);
 }
 BENCHMARK(BM_Engine_BudgetChecksPaired)->Arg(1000)->Iterations(6)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Tc_Tree_ObsPaired(benchmark::State& state) {
-  RunPaired(state, /*budget_pair=*/false);
+  RunPaired(state, PairKind::kObs);
 }
 BENCHMARK(BM_Tc_Tree_ObsPaired)->Arg(1000)->Iterations(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Tc_Tree_DiagPaired(benchmark::State& state) {
+  RunPaired(state, PairKind::kDiag);
+}
+BENCHMARK(BM_Tc_Tree_DiagPaired)->Arg(1000)->Iterations(6)
     ->Unit(benchmark::kMillisecond);
 
 // Querying the closure after materialisation: the paper's answer

@@ -55,7 +55,7 @@ mkdir -p "${OUT_DIR}"
 # registry as JSON next to the benchmark JSON.
 PATHLOG_METRICS_OUT="${OUT_DIR}/METRICS_tc.json" \
   "${BUILD_DIR}/bench/bench_tc" \
-  --benchmark_filter='ObsOn|ObsOff|ObsPaired|BudgetChecks' \
+  --benchmark_filter='ObsOn|ObsOff|ObsPaired|DiagPaired|BudgetChecks' \
   --benchmark_min_time=0.05 \
   --benchmark_repetitions=7 \
   --benchmark_enable_random_interleaving=true \
@@ -106,6 +106,9 @@ for name, what, crept in (
      "instrumentation has crept into the evaluation hot loop"),
     ("BudgetChecksPaired", "budget",
      "governance checks have crept into the evaluation hot loop"),
+    ("DiagPaired", "serving diagnostics",
+     "the stats-server sinks (flight recorder / query log) have crept "
+     "into the evaluation hot loop"),
 ):
     ratio = paired_ratio(name)
     print(f"overhead gate: {name} median on/off ratio {ratio:.3f}")
@@ -192,5 +195,43 @@ if bad:
     sys.exit("build-type gate FAILED (benchmark numbers from a "
              "non-release tree are meaningless):\n" + "\n".join(bad))
 EOF2
+
+# Trend history: one JSONL row per headline benchmark per run, keyed
+# by commit sha. The BENCH_*.json files above are overwritten each run
+# and gitignored; history.jsonl is append-only and tracked, so the
+# per-commit throughput trend survives in the repo itself.
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+GIT_SHA="${GIT_SHA}" python3 - "${OUT_DIR}" "${OUT_DIR}"/BENCH_*.json <<'EOF4'
+import datetime, json, os, sys
+
+out_dir, paths = sys.argv[1], sys.argv[2:]
+utc = datetime.datetime.now(datetime.timezone.utc).isoformat(
+    timespec="seconds")
+sha = os.environ.get("GIT_SHA", "unknown")
+rows = []
+for path in paths:
+    with open(path) as f:
+        data = json.load(f)
+    build = data.get("context", {}).get("pathlog_build_type", "unknown")
+    # Best-of-repetitions throughput per benchmark row: min-of-N times
+    # sheds scheduler noise, so max-of-N items/s is the matching pick.
+    best = {}
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        best[b["name"]] = max(best.get(b["name"], 0.0), ips)
+    for name, ips in sorted(best.items()):
+        rows.append({"git_sha": sha, "utc": utc, "benchmark": name,
+                     "items_per_second": ips,
+                     "pathlog_build_type": build})
+history = os.path.join(out_dir, "history.jsonl")
+with open(history, "a") as f:
+    for row in rows:
+        f.write(json.dumps(row, sort_keys=True) + "\n")
+print(f"bench history: appended {len(rows)} rows to {history}")
+EOF4
 
 echo "ci/bench_smoke.sh: benchmark JSON written to ${OUT_DIR}/"

@@ -66,4 +66,79 @@ printf '%s\n' \
 python3 -m json.tool "${OBS_TMP}/trace.json" >/dev/null
 python3 -m json.tool "${OBS_TMP}/metrics.json" >/dev/null
 
+# Serving-diagnostics smoke: a live shell with the embedded stats
+# server (ephemeral port) and the structured query log on. Every HTTP
+# endpoint must answer while the shell is still serving, and the query
+# log must hold schema-valid JSONL once the session ends. stdin rides
+# a fifo so the session stays open across the curl probes.
+SHELL_PID=""
+trap 'kill "${SHELL_PID}" 2>/dev/null || true; rm -rf "${OBS_TMP}"' EXIT
+mkfifo "${OBS_TMP}/shell.in"
+"${BUILD_DIR}/tools/pathlog" \
+  --stats-port=0 \
+  --query-log="${OBS_TMP}/query_log.jsonl" \
+  < "${OBS_TMP}/shell.in" > "${OBS_TMP}/shell.out" &
+SHELL_PID=$!
+exec 3> "${OBS_TMP}/shell.in"
+printf '%s\n' \
+  'a[kids->>{b}].' \
+  'b[kids->>{c}].' \
+  'X[desc->>{Y}] <- X[kids->>{Y}].' \
+  'X[desc->>{Y}] <- X..desc[kids->>{Y}].' \
+  '?- a[desc->>{D}].' >&3
+
+STATS_PORT=""
+for _ in $(seq 100); do
+  STATS_PORT="$(sed -n \
+    's/.*stats server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "${OBS_TMP}/shell.out" | head -n1)"
+  [ -n "${STATS_PORT}" ] && break
+  sleep 0.1
+done
+[ -n "${STATS_PORT}" ] || {
+  echo "diag smoke FAILED: shell never announced a stats port" >&2
+  cat "${OBS_TMP}/shell.out" >&2
+  exit 1
+}
+
+for endpoint in metrics healthz varz statusz tracez querylogz; do
+  curl -fsS "http://127.0.0.1:${STATS_PORT}/${endpoint}" \
+    > "${OBS_TMP}/http_${endpoint}.out"
+done
+grep -q '^pathlog_' "${OBS_TMP}/http_metrics.out"
+grep -q '^ok$' "${OBS_TMP}/http_healthz.out"
+python3 -m json.tool "${OBS_TMP}/http_varz.out" >/dev/null
+python3 -m json.tool "${OBS_TMP}/http_tracez.out" >/dev/null
+python3 -m json.tool "${OBS_TMP}/http_querylogz.out" >/dev/null
+
+printf '\\quit\n' >&3
+exec 3>&-
+wait "${SHELL_PID}"
+SHELL_PID=""
+
+python3 - "${OBS_TMP}/query_log.jsonl" <<'EOF5'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    lines = [l for l in f.read().splitlines() if l.strip()]
+if not lines:
+    sys.exit("query-log smoke FAILED: no records written")
+for i, line in enumerate(lines, 1):
+    rec = json.loads(line)
+    for key in ("ts_ms", "latency_ms", "rows"):
+        if not isinstance(rec.get(key), (int, float)):
+            sys.exit(f"query-log smoke FAILED: record {i}: bad {key}")
+    for key in ("kind", "query", "status", "strategy", "plan_fingerprint"):
+        if not isinstance(rec.get(key), str):
+            sys.exit(f"query-log smoke FAILED: record {i}: bad {key}")
+    if rec["kind"] not in ("query", "eval", "holds"):
+        sys.exit(f"query-log smoke FAILED: record {i}: kind={rec['kind']!r}")
+    if not isinstance(rec.get("slow"), bool):
+        sys.exit(f"query-log smoke FAILED: record {i}: bad slow flag")
+    for key in ("budget", "routes"):
+        if not isinstance(rec.get(key), dict):
+            sys.exit(f"query-log smoke FAILED: record {i}: bad {key}")
+print(f"query-log smoke: {len(lines)} records validated")
+EOF5
+
 echo "ci/check.sh: all checks passed"

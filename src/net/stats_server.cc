@@ -1,0 +1,439 @@
+#include "net/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "base/strings.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/query_log.h"
+
+namespace pathlog {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string EscapeHtml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes the whole buffer, tolerating short writes and EINTR.
+void WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away; nothing to salvage
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Reads until the end of the request headers ("\r\n\r\n"), a size
+/// cap, a timeout, or EOF. GET requests carry no body, so the request
+/// line is all we need.
+std::string ReadRequest(int fd) {
+  std::string buf;
+  char chunk[1024];
+  for (int rounds = 0; rounds < 50 && buf.size() < 8192; ++rounds) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (pr <= 0) {
+      if (pr < 0 && errno == EINTR) continue;
+      break;
+    }
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+    if (buf.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return buf;
+}
+
+/// Extracts the path from "GET /path HTTP/1.x", dropping any query
+/// string. Empty on anything that is not a GET.
+std::string ParseRequestPath(const std::string& request) {
+  if (request.compare(0, 4, "GET ") != 0) return "";
+  size_t start = 4;
+  size_t end = request.find(' ', start);
+  if (end == std::string::npos) return "";
+  std::string path = request.substr(start, end - start);
+  size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  return path.empty() ? "/" : path;
+}
+
+std::string SerializeResponse(const HttpResponse& r) {
+  return StrCat("HTTP/1.0 ", r.status, " ", ReasonPhrase(r.status),
+                "\r\nContent-Type: ", r.content_type,
+                "\r\nContent-Length: ", r.body.size(),
+                "\r\nConnection: close\r\n\r\n", r.body);
+}
+
+}  // namespace
+
+StatsServer::StatsServer(StatsServerOptions options)
+    : options_(std::move(options)) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+Status StatsServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Unavailable(StrCat("socket(): ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Unavailable(StrCat("bind(127.0.0.1:", options_.port,
+                                   "): ", std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 16) < 0) {
+    Status st = Unavailable(StrCat("listen(): ", std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    Status st = Unavailable(StrCat("getsockname(): ", std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  started_ = std::chrono::steady_clock::now();
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void StatsServer::Serve() {
+  // poll() with a timeout rather than a bare blocking accept: closing
+  // the listen fd from another thread does not reliably wake accept()
+  // on Linux, but the 100ms poll tick notices stop_ promptly.
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (pr <= 0) continue;  // timeout or EINTR: re-check stop_
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void StatsServer::HandleConnection(int fd) const {
+  std::string request = ReadRequest(fd);
+  std::string path = ParseRequestPath(request);
+  HttpResponse resp;
+  if (path.empty()) {
+    resp.status = 404;
+    resp.body = "only GET is served here\n";
+  } else {
+    resp = HandleRequest(path);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  WriteAll(fd, SerializeResponse(resp));
+}
+
+HttpResponse StatsServer::HandleRequest(const std::string& path) const {
+  if (path == "/metrics") return HandleMetrics();
+  if (path == "/varz") return HandleVarz();
+  if (path == "/healthz") return HandleHealthz();
+  if (path == "/statusz") return HandleStatusz();
+  if (path == "/tracez") return HandleTracez();
+  if (path == "/querylogz") return HandleQuerylogz();
+  if (path == "/") return HandleIndex();
+  HttpResponse resp;
+  resp.status = 404;
+  resp.body = StrCat("no handler for ", path, "\n");
+  return resp;
+}
+
+HttpResponse StatsServer::HandleMetrics() const {
+  HttpResponse resp;
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  resp.body = options_.metrics != nullptr
+                  ? options_.metrics->ToPrometheusText()
+                  : "# no metrics registry attached\n";
+  return resp;
+}
+
+HttpResponse StatsServer::HandleVarz() const {
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body =
+      options_.metrics != nullptr
+          ? options_.metrics->ToJson()
+          : "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+  return resp;
+}
+
+HttpResponse StatsServer::HandleHealthz() const {
+  HttpResponse resp;
+  ServingHealth health;
+  if (options_.health) {
+    health = options_.health();
+  } else if (options_.metrics != nullptr) {
+    Gauge* degraded = options_.metrics->GetGauge(
+        "pathlog_db_degraded", "1 while the database is degraded");
+    if (degraded != nullptr && degraded->value() != 0) {
+      health.ok = false;
+      health.detail = "pathlog_db_degraded gauge is set";
+    }
+  }
+  if (health.ok) {
+    resp.body = "ok\n";
+  } else {
+    resp.status = 503;
+    resp.body = StrCat("unhealthy: ", health.detail, "\n");
+  }
+  return resp;
+}
+
+HttpResponse StatsServer::HandleStatusz() const {
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  ServingHealth health;
+  if (options_.health) health = options_.health();
+
+  std::string body =
+      "<!doctype html><html><head><title>pathlog statusz</title></head>"
+      "<body><h1>pathlog</h1><pre>\n";
+  body += StrCat("build_type:       ", build_type, "\n");
+  body += StrCat("uptime_seconds:   ", static_cast<uint64_t>(uptime_s),
+                 "\n");
+  body += StrCat("requests_served:  ",
+                 requests_.load(std::memory_order_relaxed), "\n");
+  body += StrCat("health:           ",
+                 health.ok ? "ok" : StrCat("UNHEALTHY (",
+                                           EscapeHtml(health.detail), ")"),
+                 "\n");
+  if (options_.metrics != nullptr) {
+    Counter* rejections = options_.metrics->GetCounter(
+        "pathlog_budget_rejections_total",
+        "operations rejected by a resource budget");
+    if (rejections != nullptr) {
+      body += StrCat("budget_rejections: ", rejections->value(), "\n");
+    }
+  }
+  if (options_.statusz_info) {
+    body += EscapeHtml(options_.statusz_info());
+  }
+  body += "</pre>\n";
+
+  if (options_.metrics != nullptr) {
+    auto hists = options_.metrics->HistogramEntries();
+    if (!hists.empty()) {
+      body +=
+          "<h2>latency quantiles</h2><table border=1 cellpadding=4>"
+          "<tr><th>histogram</th><th>count</th><th>p50</th><th>p95</th>"
+          "<th>p99</th></tr>\n";
+      for (const auto& [name, h] : hists) {
+        std::string p50, p95, p99;
+        AppendJsonNumber(&p50, h->Quantile(0.50));
+        AppendJsonNumber(&p95, h->Quantile(0.95));
+        AppendJsonNumber(&p99, h->Quantile(0.99));
+        body += StrCat("<tr><td>", EscapeHtml(name), "</td><td>",
+                       h->total_count(), "</td><td>", p50, "</td><td>",
+                       p95, "</td><td>", p99, "</td></tr>\n");
+      }
+      body += "</table>\n";
+    }
+  }
+
+  if (options_.profiler != nullptr) {
+    auto rules = options_.profiler->RuleProfiles();
+    if (!rules.empty()) {
+      body +=
+          "<h2>top rules by wall time</h2><table border=1 cellpadding=4>"
+          "<tr><th>rule</th><th>evaluations</th><th>derivations</th>"
+          "<th>wall_ms</th></tr>\n";
+      size_t shown = 0;
+      for (const auto& r : rules) {
+        if (++shown > 10) break;
+        std::string wall_ms;
+        AppendJsonNumber(&wall_ms, static_cast<double>(r.wall_ns) / 1e6);
+        body += StrCat("<tr><td>", EscapeHtml(r.rule), "</td><td>",
+                       r.evaluations, "</td><td>", r.derivations,
+                       "</td><td>", wall_ms, "</td></tr>\n");
+      }
+      body += "</table>\n";
+    }
+  }
+  body += "</body></html>\n";
+
+  HttpResponse resp;
+  resp.content_type = "text/html; charset=utf-8";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse StatsServer::HandleTracez() const {
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = options_.flight != nullptr
+                  ? options_.flight->ToTraceJson()
+                  : "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+  return resp;
+}
+
+HttpResponse StatsServer::HandleQuerylogz() const {
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  if (options_.query_log == nullptr) {
+    resp.body = "{\"records_written\":0,\"records\":[]}";
+    return resp;
+  }
+  std::string body = StrCat("{\"records_written\":",
+                            options_.query_log->records_written(),
+                            ",\"records\":[");
+  bool first = true;
+  for (const std::string& line : options_.query_log->Recent()) {
+    if (!first) body += ",";
+    first = false;
+    body += line;  // each line is already one JSON object
+  }
+  body += "]}";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse StatsServer::HandleIndex() const {
+  HttpResponse resp;
+  resp.content_type = "text/html; charset=utf-8";
+  resp.body =
+      "<!doctype html><html><body><h1>pathlog diagnostics</h1><ul>"
+      "<li><a href=\"/metrics\">/metrics</a> Prometheus text</li>"
+      "<li><a href=\"/varz\">/varz</a> metrics JSON</li>"
+      "<li><a href=\"/healthz\">/healthz</a> serving health</li>"
+      "<li><a href=\"/statusz\">/statusz</a> human status</li>"
+      "<li><a href=\"/tracez\">/tracez</a> flight recorder</li>"
+      "<li><a href=\"/querylogz\">/querylogz</a> recent queries</li>"
+      "</ul></body></html>\n";
+  return resp;
+}
+
+Result<HttpResponse> HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(Unavailable(StrCat("socket(): ", std::strerror(errno))));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    Status st = Unavailable(StrCat("connect(127.0.0.1:", port,
+                                   "): ", std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  WriteAll(fd, StrCat("GET ", path, " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n"));
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\nbody"
+  size_t line_end = raw.find("\r\n");
+  if (raw.compare(0, 5, "HTTP/") != 0 || line_end == std::string::npos) {
+    return Status(
+        InvalidArgument(StrCat("malformed HTTP response: ",
+                               raw.substr(0, std::min<size_t>(64, raw.size())))));
+  }
+  size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    return Status(InvalidArgument("malformed HTTP status line"));
+  }
+  HttpResponse resp;
+  resp.status = std::atoi(raw.c_str() + sp + 1);
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status(InvalidArgument("HTTP response missing header break"));
+  }
+  std::string headers = raw.substr(0, header_end);
+  size_t ct = headers.find("Content-Type: ");
+  if (ct != std::string::npos) {
+    size_t ct_end = headers.find("\r\n", ct);
+    resp.content_type = headers.substr(
+        ct + 14, (ct_end == std::string::npos ? headers.size() : ct_end) -
+                     (ct + 14));
+  }
+  resp.body = raw.substr(header_end + 4);
+  return resp;
+}
+
+}  // namespace pathlog

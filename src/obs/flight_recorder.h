@@ -1,0 +1,154 @@
+// FlightRecorder: an always-on black-box recorder of recent engine
+// activity.
+//
+// A fixed-capacity ring buffer of completed spans and instant events
+// (the Tracer's span shapes, but with a duration instead of B/E
+// pairing) that the database, the WAL appender, and the shell feed
+// continuously. Unlike the Tracer — which buffers everything and is
+// attached only when someone asks for a trace — the recorder is cheap
+// enough to leave on in production: recording never blocks (one
+// fetch_add to claim a slot, a try-only per-slot lock to publish it)
+// and memory is bounded by the capacity chosen at construction.
+//
+// When an incident fires (degraded-mode entry, a budget rejection, a
+// WAL commit failure), the database auto-dumps the ring to a
+// timestamped file in its durable directory, so the seconds *before*
+// the failure survive to explain it. The dump renders as a Chrome
+// trace ({"traceEvents":[...]}, "X" complete events + "i" instants),
+// loadable in chrome://tracing / Perfetto exactly like Tracer output,
+// and also served live at the stats server's /tracez endpoint.
+//
+// Concurrency contract: Record() never blocks and never allocates
+// beyond the event's own strings. Each slot is guarded by a try-only
+// spinlock: a writer that finds its claimed slot busy (another writer
+// lapped the ring onto it, or a reader is copying it) drops the event
+// instead of waiting; a reader that finds a slot busy skips it after
+// a brief spin. This is a diagnostic recorder, not an audit log;
+// losing a slot under extreme contention is acceptable, blocking the
+// serving path is not.
+
+#ifndef PATHLOG_OBS_FLIGHT_RECORDER_H_
+#define PATHLOG_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "store/file_ops.h"
+
+namespace pathlog {
+
+/// One recorded event. `dur_us == 0` renders as an instant ("i"),
+/// anything else as a complete span ("X"). `args_json` is either
+/// empty or a complete JSON object rendered by the caller.
+struct FlightEvent {
+  uint64_t seq = 0;    ///< global record index (monotone, for ordering)
+  uint64_t ts_us = 0;  ///< microseconds since the recorder's epoch
+  uint64_t dur_us = 0; ///< span duration; 0 = instant event
+  std::string name;
+  std::string category;
+  std::string args_json;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one event. Never blocks: claims a slot with one
+  /// fetch_add and try-locks it; a busy slot drops the event.
+  void Record(std::string_view name, std::string_view category = "pathlog",
+              uint64_t dur_us = 0, std::string_view args_json = "");
+
+  /// Microseconds since the recorder's epoch — callers stamp a span's
+  /// start with this and pass `NowUs() - start` as the duration.
+  uint64_t NowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  size_t capacity() const { return capacity_; }
+  /// Events recorded since construction (>= capacity() means the ring
+  /// has wrapped and older events were overwritten).
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// A consistent copy of the surviving events, oldest first. Slots
+  /// being overwritten at snapshot time are skipped, so the result
+  /// holds at most capacity() events.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// The ring as a Chrome trace: {"traceEvents":[...]} with "X"
+  /// complete events (spans) and "i" instants, same field shapes the
+  /// Tracer renders, so any trace tooling loads a flight dump.
+  std::string ToTraceJson() const;
+
+  /// ToTraceJson() written atomically to `path` (nullptr fops = real
+  /// file system).
+  Status WriteTo(const std::string& path, FileOps* fops = nullptr) const;
+
+  /// Drops every recorded event and restarts the clock.
+  void Reset();
+
+ private:
+  struct Slot {
+    /// Try-only spinlock (0 = free, 1 = held) and a published flag so
+    /// readers skip slots that were never written.
+    std::atomic<uint32_t> busy{0};
+    std::atomic<bool> filled{false};
+    FlightEvent event;
+  };
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span recorder: stamps the start on construction and records
+/// one complete event with the measured duration on destruction.
+/// No-op when `recorder` is null — same null-sink discipline as
+/// TraceSpan.
+class FlightSpan {
+ public:
+  FlightSpan(FlightRecorder* recorder, std::string_view name,
+             std::string_view category = "pathlog")
+      : recorder_(recorder), name_(name), category_(category),
+        start_us_(recorder != nullptr ? recorder->NowUs() : 0) {}
+  ~FlightSpan() {
+    if (recorder_ != nullptr) {
+      uint64_t dur = recorder_->NowUs() - start_us_;
+      recorder_->Record(name_, category_, dur == 0 ? 1 : dur, args_json_);
+    }
+  }
+  FlightSpan(const FlightSpan&) = delete;
+  FlightSpan& operator=(const FlightSpan&) = delete;
+
+  /// Attaches a complete JSON object rendered by the caller to the
+  /// event recorded at destruction.
+  void set_args_json(std::string args_json) {
+    args_json_ = std::move(args_json);
+  }
+
+ private:
+  FlightRecorder* recorder_;
+  std::string name_;
+  std::string category_;
+  std::string args_json_;
+  uint64_t start_us_;
+};
+
+}  // namespace pathlog
+
+#endif  // PATHLOG_OBS_FLIGHT_RECORDER_H_

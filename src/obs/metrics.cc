@@ -27,6 +27,37 @@ void Histogram::Observe(double v) {
   }
 }
 
+double Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  // Snapshot the buckets once; relaxed loads mean the rank and the
+  // counts may be skewed by in-flight observations, which is fine for
+  // a diagnostic estimate.
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    const uint64_t prev = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      if (counts[i] == 0) return upper;
+      const double frac =
+          (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  // Rank fell in the +Inf bucket: the highest finite bound is the best
+  // bounded answer (Prometheus does the same).
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
 std::vector<double> DefaultLatencyBoundsMs() {
   return {0.25, 1, 4, 16, 64, 256, 1024, 4096, 16384, 65536};
 }
@@ -157,6 +188,16 @@ std::string MetricsRegistry::ToPrometheusText() const {
       out += StrCat(name, "_sum ", sum, "\n");
       out += StrCat(name, "_count ", h.total_count(), "\n");
     }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::HistogramEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  for (const auto& [name, e] : entries_) {
+    if (e.histogram) out.emplace_back(name, e.histogram.get());
   }
   return out;
 }

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "base/result.h"
@@ -83,6 +84,15 @@ class Histogram {
   }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// Interpolated quantile estimate over the fixed buckets, the same
+  /// way Prometheus' histogram_quantile() computes it: find the bucket
+  /// holding the q-th ranked observation and interpolate linearly
+  /// inside it (lower edge = previous bound, or 0 for the first
+  /// bucket). A rank landing in the +Inf bucket returns the highest
+  /// finite bound. Returns 0 when the histogram is empty. `q` is
+  /// clamped to [0, 1].
+  double Quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
@@ -115,6 +125,12 @@ class MetricsRegistry {
 
   /// Prometheus text exposition format, one family per metric.
   std::string ToPrometheusText() const;
+
+  /// Every registered histogram, name-sorted. Pointers are valid for
+  /// the registry's lifetime — this powers quantile summaries in the
+  /// shell's \metrics and the stats server's /statusz.
+  std::vector<std::pair<std::string, const Histogram*>> HistogramEntries()
+      const;
 
  private:
   struct Entry {

@@ -20,14 +20,22 @@ namespace pathlog {
 class MetricsRegistry;
 class Tracer;
 class Profiler;
+class FlightRecorder;
+class QueryLog;
 
 struct ObsSinks {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   Profiler* profiler = nullptr;
+  /// Always-on ring of recent spans/events, auto-dumped on incidents
+  /// (obs/flight_recorder.h).
+  FlightRecorder* flight = nullptr;
+  /// Per-query structured JSONL log (obs/query_log.h).
+  QueryLog* query_log = nullptr;
 
   bool enabled() const {
-    return metrics != nullptr || tracer != nullptr || profiler != nullptr;
+    return metrics != nullptr || tracer != nullptr || profiler != nullptr ||
+           flight != nullptr || query_log != nullptr;
   }
 };
 

@@ -34,9 +34,12 @@
 #include "eval/engine.h"        // IWYU pragma: export
 #include "lint/diagnostic.h"    // IWYU pragma: export
 #include "lint/lint.h"          // IWYU pragma: export
+#include "net/stats_server.h"   // IWYU pragma: export
+#include "obs/flight_recorder.h"  // IWYU pragma: export
 #include "obs/metrics.h"        // IWYU pragma: export
 #include "obs/obs.h"            // IWYU pragma: export
 #include "obs/profile.h"        // IWYU pragma: export
+#include "obs/query_log.h"      // IWYU pragma: export
 #include "obs/trace.h"          // IWYU pragma: export
 #include "parser/parser.h"      // IWYU pragma: export
 #include "query/database.h"     // IWYU pragma: export

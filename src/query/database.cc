@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <iterator>
 #include <set>
@@ -16,6 +17,8 @@
 #include "base/strings.h"
 #include "eval/ref_eval.h"
 #include "lint/dataflow/analyses.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -78,6 +81,39 @@ void CollectStoreSeeds(const ObjectStore& store,
   }
 }
 
+const char* StrategyName(EvalStrategy s) {
+  switch (s) {
+    case EvalStrategy::kNaive:
+      return "naive";
+    case EvalStrategy::kSemiNaiveRules:
+      return "semi-naive-rules";
+    case EvalStrategy::kSemiNaiveDelta:
+      return "semi-naive-delta";
+  }
+  return "unknown";
+}
+
+uint64_t UnixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Hex CRC32 of the planned body in execution order — the plan
+/// fingerprint ExplainQuery prints and the query log records, so a
+/// slow log record links straight to its plan.
+std::string PlanFingerprint(const std::vector<Literal>& body) {
+  std::string printed;
+  for (const Literal& lit : body) {
+    printed += ToString(lit);
+    printed += ";";
+  }
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", Crc32(printed));
+  return std::string(buf);
+}
+
 }  // namespace
 
 Database::Database() : Database(DatabaseOptions{}) {}
@@ -95,7 +131,7 @@ void Database::SetObsSinks(const ObsSinks& obs) {
   options_.engine.obs = obs;
   options_.triggers.obs = obs;
   store_.set_metrics(obs.metrics);
-  if (wal_) wal_->set_obs(obs.metrics, obs.tracer);
+  if (wal_) wal_->set_obs(obs.metrics, obs.tracer, obs.flight);
   UpdateStoreGauges();
 }
 
@@ -114,6 +150,49 @@ void Database::UpdateStoreGauges() {
   }
   if (Gauge* g = m->GetGauge("pathlog_store_facts", "fact log length")) {
     g->Set(static_cast<double>(store_.generation()));
+  }
+}
+
+QueryLog* Database::query_log_sink() const {
+  if (options_.engine.obs.query_log != nullptr) {
+    return options_.engine.obs.query_log;
+  }
+  return options_.query_log;
+}
+
+void Database::RecordQueryObs(QueryLogRecord rec) {
+  if (FlightRecorder* flight = options_.engine.obs.flight;
+      flight != nullptr) {
+    // kind and status are fixed tokens (no escaping needed); the query
+    // text stays out of the args to keep the ring entry small.
+    std::string args = StrCat("{\"kind\":\"", rec.kind, "\",\"status\":\"",
+                              rec.status, "\",\"rows\":", rec.rows, "}");
+    const auto dur_us = static_cast<uint64_t>(rec.latency_ms * 1000.0);
+    flight->Record(StrCat("db.", rec.kind), "database",
+                   dur_us == 0 ? 1 : dur_us, args);
+  }
+  if (rec.budget_rejected) MaybeDumpFlightRecorder("budget_rejection");
+  if (QueryLog* log = query_log_sink(); log != nullptr) {
+    rec.ts_ms = UnixMillis();
+    (void)log->Append(std::move(rec));  // latched error; keep serving
+  }
+}
+
+void Database::MaybeDumpFlightRecorder(std::string_view reason) {
+  FlightRecorder* flight = options_.engine.obs.flight;
+  if (flight == nullptr || fops_ == nullptr || durable_dir_.empty()) return;
+  const std::string path =
+      StrCat(durable_dir_, "/flightrec-", UnixMillis(), "-", ++flight_dumps_,
+             ".trace.json");
+  flight->Record("flightrec.dump", "database", /*dur_us=*/0,
+                 StrCat("{\"reason\":\"", reason, "\"}"));
+  if (!flight->WriteTo(path, fops_).ok()) return;  // best-effort
+  if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
+    if (Counter* c =
+            m->GetCounter("pathlog_flightrec_dumps_total",
+                          "flight-recorder incident dumps written")) {
+      c->Inc();
+    }
   }
 }
 
@@ -218,6 +297,8 @@ Status Database::Materialize() {
   if (degraded()) return DegradedError();
   TraceSpan mat_span(options_.engine.obs.tracer, "db.materialize",
                      "database");
+  FlightSpan mat_flight(options_.engine.obs.flight, "db.materialize",
+                        "database");
   EngineOptions engine_options = options_.engine;
   if (options_.use_analysis_hints) {
     RefreshAnalysisHints();
@@ -262,6 +343,18 @@ Result<ResultSet> Database::Query(std::string_view query_text) {
 }
 
 Result<ResultSet> Database::RunQuery(const struct Query& query) {
+  QueryLogRecord rec;
+  rec.kind = "query";
+  rec.query = ToString(query);
+  rec.strategy = StrategyName(options_.engine.strategy);
+  // Sampled outside the body so a rejection anywhere inside — the
+  // lazy Materialize() included, which returns early — still reaches
+  // the record (and so the flight-recorder incident dump).
+  ResourceBudget* query_budget = options_.engine.budget;
+  const uint64_t query_rejections_before =
+      query_budget != nullptr ? query_budget->rejections() : 0;
+  const auto query_t0 = std::chrono::steady_clock::now();
+  Result<ResultSet> answer = [&]() -> Result<ResultSet> {
   // Degraded read-only mode: keep answering from the last consistent
   // state — no re-materialisation (it would grow the store past what
   // the broken log can persist) and no WAL commit.
@@ -269,7 +362,6 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
     PATHLOG_RETURN_IF_ERROR(Materialize());
   }
   TraceSpan query_span(options_.engine.obs.tracer, "db.query", "database");
-  const auto query_t0 = std::chrono::steady_clock::now();
   std::vector<Literal> body = query.body;
   std::set<std::string> user_vars;
   for (const Literal& lit : body) {
@@ -286,6 +378,7 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
       &body, store_, nullptr, profiler != nullptr ? &estimates : nullptr,
       options_.use_analysis_hints ? &planner_hints_ : nullptr,
       options_.engine.planner_stats));
+  rec.plan_fingerprint = PlanFingerprint(body);
   // Queries intern names; recovery replays oids densely, so even
   // fact-free universe growth must reach the log. (A degraded database
   // skips the commit — the checkpoint that recovers it snapshots the
@@ -347,6 +440,10 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
     CountBudgetRejections(options_.engine.obs.metrics,
                           budget->rejections() - rejections_before);
   }
+  rec.route_inverted_probes = eval.inverted_probes();
+  rec.route_extent_scans = eval.extent_scans();
+  rec.route_universe_scans = eval.universe_scans();
+  rec.route_duplicates_suppressed = eval.duplicates_suppressed();
   if (!r.ok()) return r.status();
   result.Dedup();
 
@@ -378,6 +475,24 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
     }
   }
   return result;
+  }();
+  rec.latency_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - query_t0)
+                       .count();
+  rec.budget_wall_ms = rec.latency_ms;
+  rec.budget_store_bytes = store_.ApproxBytes();
+  if (query_budget != nullptr) {
+    rec.budget_rejected =
+        query_budget->rejections() - query_rejections_before > 0;
+    rec.budget_derivations = query_budget->derivations();
+  }
+  if (answer.ok()) {
+    rec.rows = answer->size();
+  } else {
+    rec.status = StatusCodeName(answer.status().code());
+  }
+  RecordQueryObs(std::move(rec));
+  return answer;
 }
 
 Result<std::string> Database::ExplainQuery(std::string_view query_text) {
@@ -409,10 +524,25 @@ Result<std::string> Database::ExplainQuery(std::string_view query_text) {
                       "residual-average floor)"
                     : "average bucket (skew-blind)",
                 "\n");
+  // The same fingerprint the query log records, so a slow record's
+  // plan can be looked up by hash.
+  out += StrCat("plan fingerprint: ", PlanFingerprint(body), "\n");
   return out;
 }
 
 Result<std::vector<Oid>> Database::Eval(std::string_view ref_text) {
+  QueryLogRecord rec;
+  rec.kind = "eval";
+  rec.query = std::string(ref_text);
+  rec.strategy = StrategyName(options_.engine.strategy);
+  // Sampled outside the body so a rejection anywhere inside — the
+  // lazy Materialize() included, which returns early — still reaches
+  // the record (and so the flight-recorder incident dump).
+  ResourceBudget* query_budget = options_.engine.budget;
+  const uint64_t query_rejections_before =
+      query_budget != nullptr ? query_budget->rejections() : 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<std::vector<Oid>> answer = [&]() -> Result<std::vector<Oid>> {
   Result<RefPtr> ref = ParseRef(ref_text);
   if (!ref.ok()) return ref.status();
   PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
@@ -440,13 +570,47 @@ Result<std::vector<Oid>> Database::Eval(std::string_view ref_text) {
     CountBudgetRejections(options_.engine.obs.metrics,
                           budget->rejections() - rejections_before);
   }
+  rec.route_inverted_probes = eval.inverted_probes();
+  rec.route_extent_scans = eval.extent_scans();
+  rec.route_universe_scans = eval.universe_scans();
+  rec.route_duplicates_suppressed = eval.duplicates_suppressed();
   if (!r.ok()) return r.status();
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+  }();
+  rec.latency_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  rec.budget_wall_ms = rec.latency_ms;
+  rec.budget_store_bytes = store_.ApproxBytes();
+  if (query_budget != nullptr) {
+    rec.budget_rejected =
+        query_budget->rejections() - query_rejections_before > 0;
+    rec.budget_derivations = query_budget->derivations();
+  }
+  if (answer.ok()) {
+    rec.rows = answer->size();
+  } else {
+    rec.status = StatusCodeName(answer.status().code());
+  }
+  RecordQueryObs(std::move(rec));
+  return answer;
 }
 
 Result<bool> Database::Holds(std::string_view ref_text) {
+  QueryLogRecord rec;
+  rec.kind = "holds";
+  rec.query = std::string(ref_text);
+  rec.strategy = StrategyName(options_.engine.strategy);
+  // Sampled outside the body so a rejection anywhere inside — the
+  // lazy Materialize() included, which returns early — still reaches
+  // the record (and so the flight-recorder incident dump).
+  ResourceBudget* query_budget = options_.engine.budget;
+  const uint64_t query_rejections_before =
+      query_budget != nullptr ? query_budget->rejections() : 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<bool> answer = [&]() -> Result<bool> {
   Result<RefPtr> ref = ParseRef(ref_text);
   if (!ref.ok()) return ref.status();
   PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
@@ -470,7 +634,29 @@ Result<bool> Database::Holds(std::string_view ref_text) {
     CountBudgetRejections(options_.engine.obs.metrics,
                           budget->rejections() - rejections_before);
   }
+  rec.route_inverted_probes = eval.inverted_probes();
+  rec.route_extent_scans = eval.extent_scans();
+  rec.route_universe_scans = eval.universe_scans();
+  rec.route_duplicates_suppressed = eval.duplicates_suppressed();
   return sat;
+  }();
+  rec.latency_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  rec.budget_wall_ms = rec.latency_ms;
+  rec.budget_store_bytes = store_.ApproxBytes();
+  if (query_budget != nullptr) {
+    rec.budget_rejected =
+        query_budget->rejections() - query_rejections_before > 0;
+    rec.budget_derivations = query_budget->derivations();
+  }
+  if (answer.ok()) {
+    rec.rows = *answer ? 1 : 0;
+  } else {
+    rec.status = StatusCodeName(answer.status().code());
+  }
+  RecordQueryObs(std::move(rec));
+  return answer;
 }
 
 Status Database::TypeCheck(std::vector<TypeViolation>* violations) const {
@@ -687,7 +873,8 @@ Result<Database> Database::Open(const std::string& dir,
           fops->OpenForWrite(db.WalPath(), /*truncate=*/false);
       if (!file.ok()) return file.status();
       db.wal_ = std::make_unique<WalAppender>(std::move(*file));
-      db.wal_->set_obs(options.engine.obs.metrics, options.engine.obs.tracer);
+      db.wal_->set_obs(options.engine.obs.metrics, options.engine.obs.tracer,
+                       options.engine.obs.flight);
       db.wal_good_bytes_ = scan->valid_bytes;
     }
   } else {
@@ -709,7 +896,8 @@ Status Database::ResetWal() {
       fops_->OpenForWrite(WalPath(), /*truncate=*/false);
   if (!file.ok()) return file.status();
   wal_ = std::make_unique<WalAppender>(std::move(*file));
-  wal_->set_obs(options_.engine.obs.metrics, options_.engine.obs.tracer);
+  wal_->set_obs(options_.engine.obs.metrics, options_.engine.obs.tracer,
+                options_.engine.obs.flight);
   wal_good_bytes_ = kWalMagicLen;
   return Status::OK();
 }
@@ -767,7 +955,8 @@ Status Database::ReopenWalTruncated() {
       fops_->OpenForWrite(WalPath(), /*truncate=*/false);
   if (!file.ok()) return file.status();
   wal_ = std::make_unique<WalAppender>(std::move(*file));
-  wal_->set_obs(options_.engine.obs.metrics, options_.engine.obs.tracer);
+  wal_->set_obs(options_.engine.obs.metrics, options_.engine.obs.tracer,
+                options_.engine.obs.flight);
   return Status::OK();
 }
 
@@ -800,6 +989,15 @@ Status Database::EnterDegradedMode(Status cause) {
       g->Set(1);
     }
   }
+  // Record the entry first so the incident dump below includes it.
+  if (FlightRecorder* flight = options_.engine.obs.flight;
+      flight != nullptr) {
+    std::string args = "{\"cause\":";
+    AppendJsonString(&args, cause.ToString());
+    args += "}";
+    flight->Record("db.degraded", "database", /*dur_us=*/0, args);
+  }
+  MaybeDumpFlightRecorder("degraded_mode");
   return DegradedError();
 }
 
@@ -887,6 +1085,7 @@ Status Database::Checkpoint() {
         "Database::Open");
   }
   TraceSpan span(options_.engine.obs.tracer, "wal.checkpoint", "wal");
+  FlightSpan flight_span(options_.engine.obs.flight, "wal.checkpoint", "wal");
   if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
     if (Counter* c = m->GetCounter("pathlog_checkpoints_total",
                                    "snapshot+WAL-reset checkpoints")) {
@@ -988,6 +1187,37 @@ std::string Database::ExplainFact(uint64_t gen) const {
   }
   return StrCat(FactToString(store_.FactAt(gen), store_),
                 "\n  extensional (asserted directly).");
+}
+
+Result<std::string> Database::ExplainFactJson(uint64_t gen) const {
+  if (gen >= store_.generation()) {
+    return Status(NotFound(StrCat("no fact with generation ", gen)));
+  }
+  std::string out = StrCat("{\"gen\":", gen, ",\"fact\":");
+  AppendJsonString(&out, FactToString(store_.FactAt(gen), store_));
+  auto it = std::upper_bound(
+      provenance_.begin(), provenance_.end(), gen,
+      [](uint64_t g, const DerivationRecord& r) { return g < r.first_gen; });
+  if (it != provenance_.begin()) {
+    const DerivationRecord& r = *std::prev(it);
+    if (gen < r.end_gen && r.rule_index < rules_.size()) {
+      out += ",\"kind\":\"derived\",\"rule\":";
+      AppendJsonString(&out, ToString(rules_[r.rule_index]));
+      out += StrCat(",\"rule_index\":", r.rule_index, ",\"bindings\":{");
+      bool first = true;
+      for (const auto& [var, oid] : r.bindings) {
+        if (!first) out += ",";
+        first = false;
+        AppendJsonString(&out, var);
+        out += ":";
+        AppendJsonString(&out, store_.DisplayName(oid));
+      }
+      out += "}}";
+      return out;
+    }
+  }
+  out += ",\"kind\":\"extensional\"}";
+  return out;
 }
 
 }  // namespace pathlog

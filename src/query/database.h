@@ -24,6 +24,7 @@
 #include "base/result.h"
 #include "eval/engine.h"
 #include "lint/lint.h"
+#include "obs/query_log.h"
 #include "query/planner.h"
 #include "query/result_set.h"
 #include "store/file_ops.h"
@@ -113,6 +114,10 @@ struct DatabaseOptions {
   bool use_analysis_hints = false;
   /// Durability policy; consulted only by databases from Open().
   DurabilityOptions durability;
+  /// Structured per-query JSONL log (obs/query_log.h); borrowed, may
+  /// be null. Every Query/Eval/Holds appends one record. Equivalent to
+  /// engine.obs.query_log, which wins when both are set.
+  QueryLog* query_log = nullptr;
 };
 
 class Database {
@@ -173,6 +178,13 @@ class Database {
   /// rule and the head bindings of the producing instance. Only
   /// meaningful when options.engine.trace_provenance is set.
   std::string ExplainFact(uint64_t gen) const;
+
+  /// ExplainFact as one JSON object:
+  ///   {"gen":N,"fact":"...","kind":"extensional"} or
+  ///   {"gen":N,"fact":"...","kind":"derived","rule":"...",
+  ///    "rule_index":i,"bindings":{"X":"a1",...}}
+  /// kNotFound when `gen` is not a fact generation.
+  Result<std::string> ExplainFactJson(uint64_t gen) const;
 
   /// All derivation records accumulated across materialisations.
   const std::vector<DerivationRecord>& provenance() const {
@@ -294,6 +306,21 @@ class Database {
   /// no-op without a metrics sink.
   void UpdateStoreGauges();
 
+  /// The query-log sink: engine.obs.query_log, else options.query_log.
+  QueryLog* query_log_sink() const;
+
+  /// Closes out one Query/Eval/Holds for observability: records a
+  /// "db.<kind>" flight span, auto-dumps the flight ring when the
+  /// operation was budget-rejected, and appends `rec` to the query-log
+  /// sink. No-op without the corresponding sinks.
+  void RecordQueryObs(QueryLogRecord rec);
+
+  /// Best-effort dump of the flight-recorder ring to a timestamped
+  /// trace file in the durable directory (durable databases with a
+  /// flight sink only). Called on incident boundaries: degraded-mode
+  /// entry and budget rejections.
+  void MaybeDumpFlightRecorder(std::string_view reason);
+
   /// Re-runs the semantic analyses over the installed rules and
   /// triggers, refreshing planner_hints_. Called by Materialize() when
   /// options_.use_analysis_hints is set. The proofs are monotone-safe:
@@ -339,6 +366,7 @@ class Database {
   uint64_t wal_retries_ = 0;      ///< transient failures retried
   uint64_t wal_rotations_ = 0;    ///< size-triggered rotations
   uint64_t degraded_entries_ = 0; ///< times degraded mode was entered
+  uint64_t flight_dumps_ = 0;     ///< flight-recorder incident dumps
   /// Rules/triggers/signatures installed since the last commit,
   /// re-rendered as loadable text.
   std::string pending_program_text_;

@@ -6,6 +6,8 @@
 #include "base/coding.h"
 #include "base/crc32.h"
 #include "base/strings.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -249,8 +251,25 @@ Status ApplyWalRecordToStore(const WalRecord& record, ObjectStore* store) {
   return Internal("unreachable wal record type");
 }
 
-void WalAppender::set_obs(MetricsRegistry* metrics, Tracer* tracer) {
+namespace {
+
+/// Records a failing WAL operation as a flight instant with the error
+/// message attached. No-op on null recorder.
+void RecordWalFailure(FlightRecorder* flight, std::string_view op,
+                      const Status& st) {
+  if (flight == nullptr) return;
+  std::string args = "{\"error\":";
+  AppendJsonString(&args, st.ToString());
+  args += "}";
+  flight->Record(op, "wal", /*dur_us=*/0, args);
+}
+
+}  // namespace
+
+void WalAppender::set_obs(MetricsRegistry* metrics, Tracer* tracer,
+                          FlightRecorder* flight) {
   tracer_ = tracer;
+  flight_ = flight;
   if (metrics == nullptr) {
     appends_ = nullptr;
     append_bytes_ = nullptr;
@@ -276,7 +295,11 @@ Status WalAppender::Append(std::string_view payload) {
   if (appends_ != nullptr) appends_->Inc();
   if (append_bytes_ != nullptr) append_bytes_->Inc(frame.size());
   Status st = file_->Append(frame);
-  if (st.ok()) appended_bytes_ += frame.size();
+  if (st.ok()) {
+    appended_bytes_ += frame.size();
+  } else {
+    RecordWalFailure(flight_, "wal.append", st);
+  }
   return st;
 }
 
@@ -291,6 +314,7 @@ Status WalAppender::Sync() {
             std::chrono::steady_clock::now() - t0)
             .count());
   }
+  if (!st.ok()) RecordWalFailure(flight_, "wal.fsync", st);
   return st;
 }
 

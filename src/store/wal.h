@@ -104,6 +104,7 @@ Result<WalScan> ScanWal(std::string_view bytes);
 Status ApplyWalRecordToStore(const WalRecord& record, ObjectStore* store);
 
 class Counter;
+class FlightRecorder;
 class Histogram;
 class MetricsRegistry;
 class Tracer;
@@ -114,10 +115,14 @@ class WalAppender {
   explicit WalAppender(std::unique_ptr<FileOps::WritableFile> file)
       : file_(std::move(file)) {}
 
-  /// Attaches observability sinks (either may be null). Appends count
+  /// Attaches observability sinks (any may be null). Appends count
   /// records and bytes; Sync records an fsync latency sample and a
-  /// "wal.fsync" trace span.
-  void set_obs(MetricsRegistry* metrics, Tracer* tracer);
+  /// "wal.fsync" trace span. The flight recorder sees every *failing*
+  /// append/fsync as an instant event with the error attached, so a
+  /// ring dumped on degraded-mode entry names the exact WAL operation
+  /// that broke.
+  void set_obs(MetricsRegistry* metrics, Tracer* tracer,
+               FlightRecorder* flight = nullptr);
 
   /// Appends one framed payload (buffered by the OS until Sync).
   Status Append(std::string_view payload);
@@ -136,6 +141,7 @@ class WalAppender {
   Counter* fsyncs_ = nullptr;
   Histogram* fsync_ms_ = nullptr;
   Tracer* tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace pathlog

@@ -20,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "base/budget.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
 #include "query/database.h"
 #include "store/file_ops.h"
 
@@ -361,6 +364,118 @@ TEST(ChaosTest, RulesAndDerivedFactsSurviveTheFaults) {
   rig.applied.push_back("b[v->2].");
   ExpectMatchesOracle(*db, rig.applied,
                       {"a[w->1]", "b[w->2]", "a[w->2]"});
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder incident dumps: a degrade must leave a black-box
+// file in the durable dir that standard trace tooling can load.
+
+/// Dump file names in the rig's durable dir ("flightrec-<ts>-<n>
+/// .trace.json"), in listing order.
+std::vector<std::string> FlightDumps(ChaosRig& rig) {
+  Result<std::vector<std::string>> names = rig.fs.ListDir("/db");
+  std::vector<std::string> dumps;
+  if (!names.ok()) return dumps;
+  for (const std::string& name : *names) {
+    if (name.rfind("flightrec-", 0) == 0 &&
+        name.size() > 11 &&
+        name.compare(name.size() - 11, 11, ".trace.json") == 0) {
+      dumps.push_back(name);
+    }
+  }
+  return dumps;
+}
+
+TEST(ChaosTest, PersistentWalFaultLeavesAFlightRecorderDump) {
+  // The acceptance criterion: a forced degrade (persistent WAL fault)
+  // leaves a dump on disk that parses as valid trace JSON and whose
+  // events include the failing WAL span and the degraded-mode entry.
+  ChaosRig rig;
+  FlightRecorder flight;
+  Result<Database> db = rig.Open();
+  ASSERT_TRUE(db.ok()) << db.status();
+  ObsSinks sinks;
+  sinks.flight = &flight;
+  db->SetObsSinks(sinks);
+  ASSERT_TRUE(db->Load("a[v->1].").ok());
+  EXPECT_TRUE(FlightDumps(rig).empty()) << "no dump before the incident";
+
+  rig.Inject(FaultOp::kAppend, 1, 1, FaultKind::kFail,
+             StatusCode::kInternal);
+  EXPECT_EQ(db->Load("b[v->2].").code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(db->degraded());
+
+  std::vector<std::string> dumps = FlightDumps(rig);
+  ASSERT_EQ(dumps.size(), 1u);
+  Result<std::string> bytes = rig.fs.ReadFile("/db/" + dumps[0]);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  Result<JsonValue> trace = ParseJson(*bytes);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->items().empty());
+
+  bool saw_wal_failure = false, saw_degraded = false;
+  for (const JsonValue& e : events->items()) {
+    const JsonValue* name = e.Find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    if (name->as_string() == "wal.append") {
+      const JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr) << "the WAL failure must carry its error";
+      const JsonValue* error = args->Find("error");
+      ASSERT_NE(error, nullptr);
+      EXPECT_NE(error->as_string().find("Internal"), std::string::npos)
+          << error->as_string();
+      saw_wal_failure = true;
+    }
+    if (name->as_string() == "db.degraded") saw_degraded = true;
+  }
+  EXPECT_TRUE(saw_wal_failure) << *bytes;
+  EXPECT_TRUE(saw_degraded) << *bytes;
+
+  // The dump's own writes went through the same (now healthy) file
+  // system; the database is still degraded, serving reads.
+  Result<bool> holds = db->Holds("a[v->1]");
+  ASSERT_TRUE(holds.ok()) << holds.status();
+  EXPECT_TRUE(*holds);
+}
+
+TEST(ChaosTest, BudgetRejectionLeavesAFlightRecorderDump) {
+  // The second incident trigger: a budget-rejected query on a durable
+  // database dumps the ring too, without any WAL fault.
+  ChaosRig rig;
+  FlightRecorder flight;
+  ResourceBudget budget(ResourceLimits{/*max_store_bytes=*/1ull << 40,
+                                       /*max_derivations=*/1,
+                                       /*max_wall_ms=*/600'000});
+  rig.opts.engine.budget = &budget;
+  Result<Database> db = rig.Open();
+  ASSERT_TRUE(db.ok()) << db.status();
+  ObsSinks sinks;
+  sinks.flight = &flight;
+  db->SetObsSinks(sinks);
+  ASSERT_TRUE(db->Load("X[desc->>{Y}] <- X[kids->>{Y}]. "
+                       "X[desc->>{Z}] <- X[kids->>{Y}], Y[desc->>{Z}]. "
+                       "a[kids->>{b}]. b[kids->>{c}]. c[kids->>{d}].")
+                  .ok());
+
+  EXPECT_FALSE(db->Query("?- a[desc->>{D}].").ok())
+      << "one derivation of budget cannot close a 4-chain";
+  std::vector<std::string> dumps = FlightDumps(rig);
+  ASSERT_EQ(dumps.size(), 1u);
+  Result<std::string> bytes = rig.fs.ReadFile("/db/" + dumps[0]);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  Result<JsonValue> trace = ParseJson(*bytes);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  bool saw_dump_marker = false;
+  for (const JsonValue& e : trace->Find("traceEvents")->items()) {
+    const JsonValue* name = e.Find("name");
+    if (name != nullptr && name->as_string() == "flightrec.dump") {
+      saw_dump_marker = true;
+    }
+  }
+  EXPECT_TRUE(saw_dump_marker) << *bytes;
+  EXPECT_FALSE(db->degraded()) << "a budget trip is not a WAL failure";
 }
 
 TEST(ChaosTest, SeededInterleavingsStayConsistentWithTheOracle) {

@@ -10,8 +10,11 @@
 #include <gtest/gtest.h>
 
 #include "base/budget.h"
+#include "base/strings.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "query/database.h"
@@ -429,6 +432,272 @@ TEST(ObsEndToEndTest, GovernanceMetricsExportOnBothFormatsIdentically) {
   EXPECT_DOUBLE_EQ((*from_json)["pathlog_db_degraded"], 0.0)
       << "the recovery checkpoint must clear the gauge";
   EXPECT_GE((*from_json)["pathlog_budget_rejections_total"], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles.
+
+TEST(HistogramQuantileTest, ExactValuesOnSyntheticObservations) {
+  // Buckets (0,1], (1,2], (2,4], +Inf. Ten observations: 0.5 lands in
+  // the first bucket, 1.5 x4 in the second, 3 x5 in the third.
+  Histogram h({1, 2, 4});
+  h.Observe(0.5);
+  for (int i = 0; i < 4; ++i) h.Observe(1.5);
+  for (int i = 0; i < 5; ++i) h.Observe(3.0);
+
+  // rank = q * 10. p50: rank 5 -> cumulative 1, 5, 10, so it is the
+  // (5-1)=4th of 4 observations inside (1,2]: 1 + 4/4 * 1 = 2.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 2.0);
+  // p90: rank 9 -> (9-5)=4th of 5 inside (2,4]: 2 + 4/5 * 2 = 3.6.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.90), 3.6);
+  // p10: rank 1 -> first bucket, 0 + 1/1 * 1 = 1.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.10), 1.0);
+  // p100 stays on the highest finite edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+}
+
+TEST(HistogramQuantileTest, InfBucketClampsToHighestFiniteBound) {
+  Histogram h({1, 2});
+  h.Observe(100);  // +Inf bucket
+  h.Observe(0.5);
+  // p99: rank lands in +Inf; the estimate is clamped to 2, the highest
+  // finite bound (Prometheus histogram_quantile semantics).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+}
+
+TEST(HistogramQuantileTest, EdgeCases) {
+  Histogram empty({1, 2});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  Histogram h({10});
+  h.Observe(5);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0)) << "q is clamped";
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+TEST(HistogramQuantileTest, RegistryEnumeratesHistogramsNameSorted) {
+  MetricsRegistry reg;
+  reg.GetHistogram("zzz_ms", {1, 2})->Observe(1);
+  reg.GetHistogram("aaa_ms", {1, 2})->Observe(1);
+  reg.GetCounter("not_a_histogram")->Inc();
+  std::vector<std::pair<std::string, const Histogram*>> entries =
+      reg.HistogramEntries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "aaa_ms");
+  EXPECT_EQ(entries[1].first, "zzz_ms");
+  EXPECT_EQ(entries[0].second->total_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder.
+
+TEST(FlightRecorderTest, RecordsAndSnapshotsInOrder) {
+  FlightRecorder rec(4);
+  rec.Record("a", "t", 10);
+  rec.Record("b", "t");  // instant
+  rec.Record("c", "t", 30, R"({"k":1})");
+  EXPECT_EQ(rec.recorded(), 3u);
+
+  std::vector<FlightEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[1].dur_us, 0u);
+  EXPECT_EQ(events[2].name, "c");
+  EXPECT_EQ(events[2].args_json, R"({"k":1})");
+  EXPECT_LT(events[0].seq, events[2].seq);
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingTheNewest) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(StrCat("e", i), "t", 1);
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  std::vector<FlightEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "e6") << "oldest survivor";
+  EXPECT_EQ(events.back().name, "e9") << "newest";
+}
+
+TEST(FlightRecorderTest, TraceJsonParsesAndKeepsEventShapes) {
+  FlightRecorder rec(8);
+  rec.Record("span", "cat", 42, R"({"rows":3})");
+  rec.Record("instant", "cat");
+  Result<JsonValue> trace = ParseJson(rec.ToTraceJson());
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 2u);
+  const JsonValue& span = events->items()[0];
+  EXPECT_EQ(span.Find("ph")->as_string(), "X");
+  EXPECT_DOUBLE_EQ(span.Find("dur")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(span.Find("args")->Find("rows")->as_number(), 3.0);
+  const JsonValue& instant = events->items()[1];
+  EXPECT_EQ(instant.Find("ph")->as_string(), "i");
+  EXPECT_EQ(instant.Find("s")->as_string(), "t");
+}
+
+TEST(FlightRecorderTest, WriteToGoesThroughInjectedFileOps) {
+  FaultInjectingFileOps fs;
+  ASSERT_TRUE(fs.CreateDir("/dir").ok());
+  FlightRecorder rec(4);
+  rec.Record("e", "t", 1);
+  ASSERT_TRUE(rec.WriteTo("/dir/f.trace.json", &fs).ok());
+  Result<std::string> bytes = fs.ReadFile("/dir/f.trace.json");
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  EXPECT_TRUE(ParseJson(*bytes).ok());
+}
+
+TEST(FlightRecorderTest, ResetDropsEverything) {
+  FlightRecorder rec(4);
+  rec.Record("e", "t", 1);
+  rec.Reset();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.Snapshot().empty());
+}
+
+TEST(FlightRecorderTest, FlightSpanRecordsMeasuredDuration) {
+  FlightRecorder rec(4);
+  {
+    FlightSpan span(&rec, "scoped", "t");
+    span.set_args_json(R"({"tag":true})");
+  }
+  FlightSpan no_op(nullptr, "never");  // null recorder: no crash, no record
+  std::vector<FlightEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "scoped");
+  EXPECT_GE(events[0].dur_us, 1u) << "spans never render as instants";
+  EXPECT_EQ(events[0].args_json, R"({"tag":true})");
+}
+
+// ---------------------------------------------------------------------------
+// QueryLog.
+
+QueryLogRecord MakeRecord(const std::string& query) {
+  QueryLogRecord rec;
+  rec.ts_ms = 1700000000000ull;
+  rec.kind = "query";
+  rec.query = query;
+  rec.latency_ms = 1.25;
+  rec.rows = 2;
+  rec.strategy = "semi-naive-delta";
+  rec.plan_fingerprint = "deadbeef";
+  return rec;
+}
+
+TEST(QueryLogTest, AppendsOneJsonLinePerRecord) {
+  FaultInjectingFileOps fs;
+  QueryLogOptions opts;
+  opts.path = "/ql.jsonl";
+  opts.fops = &fs;
+  QueryLog log(opts);
+  ASSERT_TRUE(log.Append(MakeRecord("?- a[v->V].")).ok());
+  ASSERT_TRUE(log.Append(MakeRecord("?- b[v->V].")).ok());
+  EXPECT_EQ(log.records_written(), 2u);
+
+  Result<std::string> bytes = fs.ReadFile("/ql.jsonl");
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  size_t newline = bytes->find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  Result<JsonValue> first = ParseJson(bytes->substr(0, newline));
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->Find("query")->as_string(), "?- a[v->V].");
+  EXPECT_DOUBLE_EQ(first->Find("latency_ms")->as_number(), 1.25);
+  EXPECT_EQ(bytes->back(), '\n') << "JSONL: every record ends its line";
+}
+
+TEST(QueryLogTest, SlowFlagIsStampedAgainstTheThreshold) {
+  QueryLogOptions opts;
+  opts.slow_query_ms = 10.0;
+  QueryLog log(opts);
+  QueryLogRecord fast = MakeRecord("fast");
+  fast.latency_ms = 9.9;
+  QueryLogRecord slow = MakeRecord("slow");
+  slow.latency_ms = 10.1;
+  ASSERT_TRUE(log.Append(fast).ok());
+  ASSERT_TRUE(log.Append(slow).ok());
+  std::vector<std::string> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_FALSE(ParseJson(recent[0])->Find("slow")->as_bool());
+  EXPECT_TRUE(ParseJson(recent[1])->Find("slow")->as_bool());
+}
+
+TEST(QueryLogTest, RotationRenamesAndReopens) {
+  FaultInjectingFileOps fs;
+  QueryLogOptions opts;
+  opts.path = "/ql.jsonl";
+  opts.rotate_bytes = 1;  // every record over-fills the segment
+  opts.fops = &fs;
+  QueryLog log(opts);
+  ASSERT_TRUE(log.Append(MakeRecord("first")).ok());
+  ASSERT_TRUE(log.Append(MakeRecord("second")).ok());
+  EXPECT_EQ(log.rotations(), 1u);
+  Result<std::string> rotated = fs.ReadFile("/ql.jsonl.1");
+  ASSERT_TRUE(rotated.ok()) << rotated.status();
+  EXPECT_NE(rotated->find("first"), std::string::npos);
+  Result<std::string> current = fs.ReadFile("/ql.jsonl");
+  ASSERT_TRUE(current.ok()) << current.status();
+  EXPECT_NE(current->find("second"), std::string::npos);
+}
+
+TEST(QueryLogTest, FirstFileErrorLatchesButTheRingKeepsFilling) {
+  FaultInjectingFileOps fs;
+  QueryLogOptions opts;
+  opts.path = "/ql.jsonl";
+  opts.fops = &fs;
+  QueryLog log(opts);
+  ASSERT_TRUE(log.Append(MakeRecord("ok")).ok());
+
+  fs.ArmFault(FaultInjectingFileOps::FaultKind::kFail, 1);
+  EXPECT_FALSE(log.Append(MakeRecord("fails")).ok());
+  EXPECT_FALSE(log.file_error().ok());
+
+  // Later appends return the latched error but keep the recent ring
+  // serving /querylogz.
+  EXPECT_FALSE(log.Append(MakeRecord("after")).ok());
+  std::vector<std::string> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_NE(recent.back().find("after"), std::string::npos);
+}
+
+TEST(QueryLogTest, RecentRingIsBoundedOldestFirst) {
+  QueryLogOptions opts;
+  opts.recent_capacity = 3;
+  QueryLog log(opts);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Append(MakeRecord(StrCat("q", i))).ok());
+  }
+  std::vector<std::string> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_NE(recent[0].find("q2"), std::string::npos);
+  EXPECT_NE(recent[2].find("q4"), std::string::npos);
+  EXPECT_EQ(log.Recent(1).size(), 1u);
+}
+
+TEST(QueryLogTest, RecordJsonRoundTripsEveryField) {
+  QueryLogRecord rec = MakeRecord("?- x.");
+  rec.status = "ResourceExhausted";
+  rec.budget_derivations = 7;
+  rec.budget_store_bytes = 1024;
+  rec.budget_wall_ms = 2.5;
+  rec.budget_rejected = true;
+  rec.route_inverted_probes = 1;
+  rec.route_extent_scans = 2;
+  rec.route_universe_scans = 3;
+  rec.route_duplicates_suppressed = 4;
+  rec.slow = true;
+  Result<JsonValue> v = ParseJson(QueryLogRecordToJson(rec));
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->Find("status")->as_string(), "ResourceExhausted");
+  const JsonValue* budget = v->Find("budget");
+  ASSERT_NE(budget, nullptr);
+  EXPECT_DOUBLE_EQ(budget->Find("derivations")->as_number(), 7.0);
+  EXPECT_TRUE(budget->Find("rejected")->as_bool());
+  const JsonValue* routes = v->Find("routes");
+  ASSERT_NE(routes, nullptr);
+  EXPECT_DOUBLE_EQ(routes->Find("universe_scans")->as_number(), 3.0);
+  EXPECT_TRUE(v->Find("slow")->as_bool());
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/json.h"
 #include "query/database.h"
 
 namespace pathlog {
@@ -102,6 +103,82 @@ TEST(ProvenanceTest, OffByDefault) {
 TEST(ProvenanceTest, OutOfRangeGen) {
   Database db(Traced());
   EXPECT_EQ(db.ExplainFact(99), "no such fact.");
+}
+
+// ---------------------------------------------------------------------------
+// ExplainFactJson: the machine-readable twin.
+
+TEST(ProvenanceTest, JsonExplainsExtensionalFacts) {
+  Database db(Traced());
+  ASSERT_TRUE(db.Load("mary[age->30].").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  Result<std::string> json = db.ExplainFactJson(0);
+  ASSERT_TRUE(json.ok()) << json.status();
+  Result<JsonValue> v = ParseJson(*json);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_DOUBLE_EQ(v->Find("gen")->as_number(), 0.0);
+  EXPECT_EQ(v->Find("fact")->as_string(), "mary[age->30]");
+  EXPECT_EQ(v->Find("kind")->as_string(), "extensional");
+  EXPECT_EQ(v->Find("rule"), nullptr);
+}
+
+TEST(ProvenanceTest, JsonExplainsDerivedFactsWithRuleAndBindings) {
+  Database db(Traced());
+  ASSERT_TRUE(db.Load(R"(
+    a1 : automobile[engine->e1].
+    e1[power->150].
+    X[power->Y] <- X:automobile.engine[power->Y].
+  )").ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  std::optional<uint64_t> gen;
+  for (uint64_t g = 0; g < db.store().generation(); ++g) {
+    const Fact& f = db.store().FactAt(g);
+    if (f.kind == FactKind::kScalar &&
+        db.DisplayName(f.method) == "power" &&
+        db.DisplayName(f.recv) == "a1") {
+      gen = g;
+    }
+  }
+  ASSERT_TRUE(gen.has_value());
+  Result<std::string> json = db.ExplainFactJson(*gen);
+  ASSERT_TRUE(json.ok()) << json.status();
+  Result<JsonValue> v = ParseJson(*json);
+  ASSERT_TRUE(v.ok()) << v.status() << "\njson: " << *json;
+  EXPECT_EQ(v->Find("kind")->as_string(), "derived");
+  EXPECT_NE(v->Find("rule")->as_string().find("X[power->Y]"),
+            std::string::npos);
+  EXPECT_TRUE(v->Find("rule_index")->is_number());
+  const JsonValue* bindings = v->Find("bindings");
+  ASSERT_NE(bindings, nullptr);
+  ASSERT_NE(bindings->Find("X"), nullptr);
+  EXPECT_EQ(bindings->Find("X")->as_string(), "a1");
+  EXPECT_EQ(bindings->Find("Y")->as_string(), "150");
+
+  // The text and JSON explanations agree on the derivation.
+  std::string text = db.ExplainFact(*gen);
+  EXPECT_NE(text.find("derived by rule"), std::string::npos);
+  EXPECT_NE(text.find("X=a1"), std::string::npos);
+}
+
+TEST(ProvenanceTest, JsonOutOfRangeGenIsNotFound) {
+  Database db(Traced());
+  Result<std::string> json = db.ExplainFactJson(99);
+  EXPECT_EQ(json.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProvenanceTest, JsonWithoutTracingFallsBackToExtensional) {
+  // trace_provenance off: derived facts exist but no records, so the
+  // JSON twin reports them as extensional — same as ExplainFact.
+  Database db;
+  ASSERT_TRUE(db.Load("p0[kids->>{p1}]. X[desc->>{Y}] <- X[kids->>{Y}].")
+                  .ok());
+  ASSERT_TRUE(db.Materialize().ok());
+  const uint64_t last = db.store().generation() - 1;
+  Result<std::string> json = db.ExplainFactJson(last);
+  ASSERT_TRUE(json.ok()) << json.status();
+  Result<JsonValue> v = ParseJson(*json);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->Find("kind")->as_string(), "extensional");
 }
 
 }  // namespace

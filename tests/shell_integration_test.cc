@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace pathlog {
@@ -314,6 +315,101 @@ TEST(ShellTest, LoadsProgramFileFromArgv) {
   EXPECT_NE(out.find("loaded"), std::string::npos);
   EXPECT_NE(out.find("(2 answers)"), std::string::npos);
   std::remove(prog.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Serving diagnostics: stats server, flight recorder, query log, \why.
+
+TEST(ShellTest, StatsPortZeroStartsTheServerOnAnEphemeralPort) {
+  std::string out = RunShell(
+      "a[v->1].\n"
+      "\\quit\n",
+      "--stats-port=0");
+  EXPECT_NE(out.find("stats server listening on 127.0.0.1:"),
+            std::string::npos);
+}
+
+TEST(ShellTest, StatsServerCommandStartsAndIsIdempotent) {
+  std::string out = RunShell(
+      "\\stats_server 0\n"
+      "\\stats_server 0\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("stats server listening on"), std::string::npos);
+  EXPECT_NE(out.find("already listening"), std::string::npos);
+}
+
+TEST(ShellTest, FlightRecorderSummaryAndDump) {
+  const std::string dump = ::testing::TempDir() + "/shell_flight." +
+                           std::to_string(::getpid()) + ".trace.json";
+  std::string out = RunShell(
+      "a[v->1].\n"
+      "?- a[v->V].\n"
+      "\\flightrec\n"
+      "\\flightrec dump " + dump + "\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("flight recorder:"), std::string::npos);
+  EXPECT_NE(out.find("db.query"), std::string::npos);
+  EXPECT_NE(out.find("wrote flight-recorder dump to"), std::string::npos);
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good()) << dump;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_NE(bytes.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(bytes.find("db.query"), std::string::npos);
+  std::remove(dump.c_str());
+}
+
+TEST(ShellTest, QueryLogFlagWritesJsonlAndQuerylogShowsIt) {
+  const std::string log_path = ::testing::TempDir() + "/shell_ql." +
+                               std::to_string(::getpid()) + ".jsonl";
+  std::string out = RunShell(
+      "a[v->1].\n"
+      "?- a[v->V].\n"
+      "\\querylog\n"
+      "\\quit\n",
+      "--query-log=" + log_path);
+  EXPECT_NE(out.find("\"kind\":\"query\""), std::string::npos);
+  EXPECT_NE(out.find("records this session"), std::string::npos);
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good()) << log_path;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"plan_fingerprint\":"), std::string::npos);
+  EXPECT_NE(line.find("\"budget\":{"), std::string::npos);
+  EXPECT_NE(line.find("\"routes\":{"), std::string::npos);
+  std::remove(log_path.c_str());
+}
+
+TEST(ShellTest, QuerylogWorksWithoutAFileViaTheInMemoryRing) {
+  std::string out = RunShell(
+      "a[v->1].\n"
+      "?- a[v->V].\n"
+      "\\querylog\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("\"kind\":\"query\""), std::string::npos);
+}
+
+TEST(ShellTest, WhyJsonPrintsMachineReadableProvenance) {
+  std::string out = RunShell(
+      "mary[age->30].\n"
+      "?- mary[age->A].\n"
+      "\\why --json 0\n"
+      "\\why --json abc\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("{\"gen\":0,\"fact\":\"mary[age->30]\","
+                     "\"kind\":\"extensional\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("usage: \\why"), std::string::npos);
+}
+
+TEST(ShellTest, MetricsSummaryIncludesQuantiles) {
+  std::string out = RunShell(
+      "a[v->1].\n"
+      "?- a[v->V].\n"
+      "\\metrics\n"
+      "\\quit\n");
+  EXPECT_NE(out.find("# quantiles pathlog_query_ms p50="),
+            std::string::npos);
 }
 
 }  // namespace

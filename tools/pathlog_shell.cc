@@ -1,7 +1,7 @@
 // pathlog: an interactive PathLog shell.
 //
 //   $ ./pathlog [--durable <dir>] [--trace-out=F] [--metrics-out=F]
-//               [file.plg ...]
+//               [--stats-port=N] [--query-log=F] [file.plg ...]
 //
 // Loads the given program files, then reads clauses and queries from
 // stdin. Input is buffered until a clause-terminating '.' (so clauses
@@ -12,13 +12,19 @@
 // <dir> on startup and every accepted clause is written ahead to
 // <dir>/wal.plgwal before "ok." is printed.
 //
-// Observability: every session records metrics and a structured trace
-// (chrome://tracing format). \metrics and \trace expose them
-// interactively; --metrics-out / --trace-out write them at exit.
+// Observability: every session records metrics, a structured trace
+// (chrome://tracing format), an always-on flight recorder of recent
+// activity, and a per-query structured log. \metrics, \trace,
+// \flightrec and \querylog expose them interactively; --metrics-out /
+// --trace-out / --query-log write them to files; --stats-port=N (or
+// \stats_server) serves them over HTTP on 127.0.0.1 (N=0 picks an
+// ephemeral port).
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -51,6 +57,13 @@ constexpr const char* kHelp = R"(PathLog shell commands:
   \checkpoint       durable sessions: snapshot now and reset the WAL
   \health           durability/degraded-mode health: WAL retries,
                     rotations, degraded state and cause, store size
+  \why [--json] <gen>  provenance of a fact (--json: one JSON object)
+  \flightrec [dump [file]]  flight-recorder summary; dump writes the
+                    ring as Chrome trace JSON (default flight.trace.json)
+  \querylog [n]     the last n structured query-log records (JSONL)
+  \stats_server [port]  start the HTTP diagnostics server on
+                    127.0.0.1 (default/0: ephemeral port); endpoints:
+                    /metrics /varz /healthz /statusz /tracez /querylogz
   \quit             exit
 )";
 
@@ -61,6 +74,14 @@ struct SessionObs {
   pathlog::MetricsRegistry metrics;
   pathlog::Tracer tracer;
   pathlog::Profiler profiler;
+  pathlog::FlightRecorder flight;
+  /// Created at startup (in-memory only unless --query-log names a
+  /// file), so /querylogz and \querylog always have recent records.
+  std::unique_ptr<pathlog::QueryLog> query_log;
+  /// Serialises the session's Database against the stats server's
+  /// health/statusz callbacks, which run on the server thread. Lives
+  /// here (not in Shell) so Shell stays move-assignable.
+  std::mutex mu;
 };
 
 SessionObs& Obs() {
@@ -87,10 +108,59 @@ class Shell {
     sinks.metrics = &Obs().metrics;
     sinks.tracer = &Obs().tracer;
     sinks.profiler = profile_on_ ? &Obs().profiler : nullptr;
+    sinks.flight = &Obs().flight;
+    sinks.query_log = Obs().query_log.get();
     db_.SetObsSinks(sinks);
   }
 
+  /// Starts the HTTP diagnostics server (port 0 = ephemeral) and
+  /// prints the bound address. The health and statusz callbacks read
+  /// the session Database under Obs().mu — the same mutex Handle()
+  /// holds — so they are safe on the server thread.
+  pathlog::Status StartStatsServer(uint16_t port) {
+    if (stats_server_ != nullptr && stats_server_->running()) {
+      printf("stats server already listening on 127.0.0.1:%u\n",
+             stats_server_->port());
+      return pathlog::Status::OK();
+    }
+    pathlog::StatsServerOptions opts;
+    opts.port = port;
+    opts.metrics = &Obs().metrics;
+    opts.profiler = &Obs().profiler;
+    opts.flight = &Obs().flight;
+    opts.query_log = Obs().query_log.get();
+    opts.health = [this]() {
+      std::lock_guard<std::mutex> lock(Obs().mu);
+      pathlog::DatabaseHealth h = db_.Health();
+      pathlog::ServingHealth out;
+      out.ok = !h.degraded;
+      out.detail = h.degraded_cause;
+      return out;
+    };
+    opts.statusz_info = [this]() {
+      std::lock_guard<std::mutex> lock(Obs().mu);
+      pathlog::DatabaseHealth h = db_.Health();
+      std::ostringstream os;
+      os << "durable:          " << (h.durable ? "yes" : "no") << "\n"
+         << "degraded:         " << (h.degraded ? "yes" : "no") << "\n"
+         << "store_generation: " << h.facts << "\n"
+         << "objects:          " << h.objects << "\n"
+         << "store_bytes:      " << h.store_bytes << "\n"
+         << "rules:            " << db_.num_rules() << "\n";
+      return os.str();
+    };
+    stats_server_ = std::make_unique<pathlog::StatsServer>(std::move(opts));
+    pathlog::Status st = stats_server_->Start();
+    if (st.ok()) {
+      printf("stats server listening on 127.0.0.1:%u\n",
+             stats_server_->port());
+      fflush(stdout);
+    }
+    return st;
+  }
+
   bool LoadFile(const std::string& path) {
+    std::lock_guard<std::mutex> lock(Obs().mu);
     std::ifstream in(path);
     if (!in) {
       fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -109,6 +179,9 @@ class Shell {
   }
 
   void Handle(const std::string& input) {
+    // One session mutex around every interaction: the stats server's
+    // health/statusz callbacks read db_ from the server thread.
+    std::lock_guard<std::mutex> lock(Obs().mu);
     if (input.empty()) return;
     if (input[0] == '\\') {
       Command(input);
@@ -192,6 +265,13 @@ class Shell {
         }
       } else {
         printf("%s", Obs().metrics.ToPrometheusText().c_str());
+        // Interpolated quantiles as comment lines: the parser ignores
+        // comments, so the exposition above still round-trips.
+        for (const auto& [name, h] : Obs().metrics.HistogramEntries()) {
+          if (h->total_count() == 0) continue;
+          printf("# quantiles %s p50=%.3f p95=%.3f p99=%.3f\n", name.c_str(),
+                 h->Quantile(0.50), h->Quantile(0.95), h->Quantile(0.99));
+        }
       }
     } else if (cmd == "\\profile") {
       std::string arg;
@@ -357,6 +437,79 @@ class Shell {
              static_cast<unsigned long long>(h.objects));
       printf("facts:            %llu\n",
              static_cast<unsigned long long>(h.facts));
+    } else if (cmd == "\\why") {
+      std::string arg;
+      bool json = false;
+      if (iss >> arg && arg == "--json") {
+        json = true;
+        if (!(iss >> arg)) arg.clear();
+      }
+      if (arg.empty() ||
+          arg.find_first_not_of("0123456789") != std::string::npos) {
+        printf("usage: \\why [--json] <generation>\n");
+      } else if (json) {
+        pathlog::Result<std::string> out =
+            db_.ExplainFactJson(std::stoull(arg));
+        if (out.ok()) {
+          printf("%s\n", out->c_str());
+        } else {
+          printf("%s\n", out.status().ToString().c_str());
+        }
+      } else {
+        printf("%s\n", db_.ExplainFact(std::stoull(arg)).c_str());
+      }
+    } else if (cmd == "\\flightrec") {
+      std::string arg;
+      if (iss >> arg) {
+        if (arg == "dump") {
+          std::string path = "flight.trace.json";
+          iss >> path;
+          pathlog::Status st = Obs().flight.WriteTo(path);
+          if (st.ok()) {
+            printf("wrote flight-recorder dump to %s\n", path.c_str());
+          } else {
+            printf("%s\n", st.ToString().c_str());
+          }
+        } else {
+          printf("usage: \\flightrec [dump [file]]\n");
+        }
+      } else {
+        const auto events = Obs().flight.Snapshot();
+        printf("flight recorder: %llu events recorded, %zu in ring "
+               "(capacity %zu)\n",
+               static_cast<unsigned long long>(Obs().flight.recorded()),
+               events.size(), Obs().flight.capacity());
+        const size_t show = events.size() > 10 ? 10 : events.size();
+        for (size_t i = events.size() - show; i < events.size(); ++i) {
+          const pathlog::FlightEvent& e = events[i];
+          printf("  [%llu] %s (%s) +%llums dur=%lluus\n",
+                 static_cast<unsigned long long>(e.seq), e.name.c_str(),
+                 e.category.c_str(),
+                 static_cast<unsigned long long>(e.ts_us / 1000),
+                 static_cast<unsigned long long>(e.dur_us));
+        }
+      }
+    } else if (cmd == "\\querylog") {
+      if (Obs().query_log == nullptr) {
+        printf("query log not enabled\n");
+      } else {
+        size_t n = 10;
+        iss >> n;
+        for (const std::string& line : Obs().query_log->Recent(n)) {
+          printf("%s\n", line.c_str());
+        }
+        printf("(%llu records this session%s%s)\n",
+               static_cast<unsigned long long>(
+                   Obs().query_log->records_written()),
+               Obs().query_log->path().empty() ? "" : ", logging to ",
+               Obs().query_log->path().c_str());
+      }
+    } else if (cmd == "\\stats_server") {
+      uint16_t port = 0;
+      unsigned parsed = 0;
+      if (iss >> parsed) port = static_cast<uint16_t>(parsed);
+      pathlog::Status st = StartStatsServer(port);
+      if (!st.ok()) printf("%s\n", st.ToString().c_str());
     } else if (cmd == "\\quit" || cmd == "\\q") {
       done_ = true;
     } else {
@@ -401,6 +554,7 @@ class Shell {
   pathlog::Database db_;
   bool done_ = false;
   bool profile_on_ = false;
+  std::unique_ptr<pathlog::StatsServer> stats_server_;
 };
 
 }  // namespace
@@ -409,6 +563,8 @@ int main(int argc, char** argv) {
   std::string durable_dir;
   std::string trace_out;
   std::string metrics_out;
+  std::string query_log_path;
+  int stats_port = -1;  // -1 = no server
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -422,9 +578,26 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(sizeof("--trace-out=") - 1);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(sizeof("--metrics-out=") - 1);
+    } else if (arg.rfind("--query-log=", 0) == 0) {
+      query_log_path = arg.substr(sizeof("--query-log=") - 1);
+    } else if (arg.rfind("--stats-port=", 0) == 0) {
+      stats_port = atoi(arg.c_str() + sizeof("--stats-port=") - 1);
+      if (stats_port < 0 || stats_port > 65535) {
+        fprintf(stderr, "--stats-port must be 0..65535\n");
+        return 1;
+      }
     } else {
       files.push_back(std::move(arg));
     }
+  }
+
+  // The query log exists for every session (the stats server and
+  // \querylog read its in-memory ring); only --query-log makes it
+  // write JSONL to disk.
+  {
+    pathlog::QueryLogOptions qopts;
+    qopts.path = query_log_path;
+    Obs().query_log = std::make_unique<pathlog::QueryLog>(std::move(qopts));
   }
 
   Shell shell;
@@ -442,6 +615,16 @@ int main(int argc, char** argv) {
   }
   for (const std::string& path : files) {
     if (!shell.LoadFile(path)) return 1;
+  }
+  // Start after the final `shell` assignment above: the server's
+  // callbacks capture the Shell pointer, which must not move again.
+  if (stats_port >= 0) {
+    pathlog::Status st =
+        shell.StartStatsServer(static_cast<uint16_t>(stats_port));
+    if (!st.ok()) {
+      fprintf(stderr, "--stats-port: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   int rc = shell.Run();
   if (!trace_out.empty()) {
