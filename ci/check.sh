@@ -14,6 +14,27 @@ BUILD_DIR="${1:-build-asan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 
+# Lock-discipline lint: every mutex member in a src/ header must have a
+# GUARDED_BY peer and every atomic a `// lock-free:` contract comment.
+# Structural, compiler-independent, and cheap — run it first.
+python3 tools/lock_lint.py
+
+# Clang thread-safety analysis over the annotated serving core. The
+# annotations in base/thread_annotations.h are no-ops under GCC, so
+# this gate only has teeth where clang exists; skipping silently would
+# hide a hole in CI, so say so out loud.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety"
+  cmake --build build-tsa -j "${JOBS}" \
+    --target pathlog pathlog_shell pathlog_lint
+else
+  echo "ci/check.sh: clang++ not found; skipping -Wthread-safety build" \
+    "(annotations still lint-checked by tools/lock_lint.py)" >&2
+fi
+
 # -fno-sanitize-recover=all already makes any UB report fatal; the
 # options below make the report actionable (symbolised stack) and keep
 # ASan strict about lifetime issues the tests might otherwise miss.
@@ -40,6 +61,25 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # crash-mid-commit) are the gate for resource governance and degraded
 # serving, so run the whole binary by name under the sanitizers.
 "${BUILD_DIR}/tests/chaos_test"
+
+# TSan gate for the concurrency contract: the dedicated race suite
+# (readers vs writer with checkpoints, degrade/heal under concurrent
+# scrapes, flight-recorder span storms, query-log rotation races,
+# histogram export) plus the stats-server lifecycle tests run under
+# ThreadSanitizer. halt_on_error makes the first report fatal — races
+# get fixed, not suppressed.
+TSAN_BUILD_DIR="build-tsan"
+TSAN_FLAGS="-fsanitize=thread"
+cmake -B "${TSAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+  --target concurrency_test stats_server_test
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/concurrency_test"
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/stats_server_test"
 
 # Shipped programs must be lint-clean with the semantic analyses
 # (PL014-PL019) enabled: pathlog_lint exits 1 on any diagnostic,

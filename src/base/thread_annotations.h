@@ -1,0 +1,89 @@
+// Clang thread-safety analysis macros.
+//
+// These expand to clang's `capability` attribute family when compiling
+// under clang (where `-Wthread-safety` turns them into compile-time
+// lock-discipline errors) and to nothing everywhere else, so annotated
+// headers stay portable to gcc/msvc. The vocabulary follows the
+// standard names from the clang documentation so the annotations read
+// the same here as in any other annotated codebase:
+//
+//   GUARDED_BY(mu)      field may only be touched while `mu` is held
+//   PT_GUARDED_BY(mu)   pointee (not the pointer) is guarded by `mu`
+//   REQUIRES(mu)        caller must hold `mu` exclusively
+//   REQUIRES_SHARED(mu) caller must hold `mu` at least shared
+//   ACQUIRE / RELEASE   function takes / drops the capability itself
+//   EXCLUDES(mu)        caller must NOT hold `mu` (deadlock guard)
+//
+// The annotated wrappers in base/mutex.h exist because libstdc++'s
+// std::mutex carries no capability attributes, so the analysis cannot
+// see raw standard-library locks; annotate against pathlog::Mutex /
+// pathlog::SharedMutex instead.
+//
+// ci/check.sh builds the tree with clang `-Wthread-safety -Werror`
+// when a clang++ is available, and tools/lock_lint.py statically
+// requires every mutex member in src/ headers to have annotated peers
+// or an explicit `// lock-free:` contract.
+
+#ifndef PATHLOG_BASE_THREAD_ANNOTATIONS_H_
+#define PATHLOG_BASE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define PATHLOG_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PATHLOG_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) PATHLOG_THREAD_ANNOTATION__(capability(x))
+
+#define SCOPED_CAPABILITY PATHLOG_THREAD_ANNOTATION__(scoped_lockable)
+
+#define GUARDED_BY(x) PATHLOG_THREAD_ANNOTATION__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) PATHLOG_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  PATHLOG_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  PATHLOG_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  PATHLOG_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  PATHLOG_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  PATHLOG_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  PATHLOG_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  PATHLOG_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  PATHLOG_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  PATHLOG_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  PATHLOG_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  PATHLOG_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) PATHLOG_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) PATHLOG_THREAD_ANNOTATION__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  PATHLOG_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) PATHLOG_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PATHLOG_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // PATHLOG_BASE_THREAD_ANNOTATIONS_H_

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -112,6 +113,7 @@ StatsServer::StatsServer(StatsServerOptions options)
 StatsServer::~StatsServer() { Stop(); }
 
 Status StatsServer::Start() {
+  MutexLock lock(&lifecycle_mu_);
   if (running_.load(std::memory_order_acquire)) {
     return Status::OK();
   }
@@ -146,17 +148,28 @@ Status StatsServer::Start() {
     return st;
   }
   listen_fd_ = fd;
-  port_ = ntohs(addr.sin_port);
-  started_ = std::chrono::steady_clock::now();
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  started_us_.store(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { Serve(); });
+  // The fd rides in the capture: the server thread must not read
+  // listen_fd_ (guarded by lifecycle_mu_, which it may never take).
+  thread_ = std::thread([this, fd] { Serve(fd); });
   return Status::OK();
 }
 
 void StatsServer::Stop() {
+  MutexLock lock(&lifecycle_mu_);
   if (!running_.load(std::memory_order_acquire)) return;
   stop_.store(true, std::memory_order_release);
+  // Joining under the lifecycle lock is safe because the server
+  // thread never acquires it; once join returns, no thread can touch
+  // the borrowed sinks in options_ again — the guarantee the
+  // destruction-order contract in the header rests on.
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -165,15 +178,15 @@ void StatsServer::Stop() {
   running_.store(false, std::memory_order_release);
 }
 
-void StatsServer::Serve() {
+void StatsServer::Serve(int listen_fd) {
   // poll() with a timeout rather than a bare blocking accept: closing
   // the listen fd from another thread does not reliably wake accept()
   // on Linux, but the 100ms poll tick notices stop_ promptly.
   while (!stop_.load(std::memory_order_acquire)) {
-    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    struct pollfd pfd = {listen_fd, POLLIN, 0};
     int pr = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (pr <= 0) continue;  // timeout or EINTR: re-check stop_
-    int client = ::accept(listen_fd_, nullptr, nullptr);
+    int client = ::accept(listen_fd, nullptr, nullptr);
     if (client < 0) continue;
     HandleConnection(client);
     ::close(client);
@@ -250,10 +263,14 @@ HttpResponse StatsServer::HandleHealthz() const {
 }
 
 HttpResponse StatsServer::HandleStatusz() const {
-  const double uptime_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    started_)
+  const int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
           .count();
+  const double uptime_s =
+      static_cast<double>(now_us -
+                          started_us_.load(std::memory_order_relaxed)) /
+      1e6;
 #ifdef NDEBUG
   const char* build_type = "release";
 #else

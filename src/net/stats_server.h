@@ -28,13 +28,14 @@
 #define PATHLOG_NET_STATS_SERVER_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <thread>
 
+#include "base/mutex.h"
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "obs/obs.h"
 
 namespace pathlog {
@@ -80,16 +81,22 @@ class StatsServer {
   ~StatsServer();  ///< stops the server if still running
 
   /// Binds, listens, and starts the accept thread. kUnavailable when
-  /// the bind fails (port taken, no loopback).
-  Status Start();
+  /// the bind fails (port taken, no loopback). Thread-safe: concurrent
+  /// Start/Stop calls serialise on the lifecycle mutex.
+  Status Start() EXCLUDES(lifecycle_mu_);
 
-  /// Stops accepting, joins the thread, closes the socket. Idempotent.
-  void Stop();
+  /// Stops accepting, joins the accept thread, closes the socket.
+  /// Idempotent and thread-safe. When Stop() returns, the server
+  /// thread is gone — only then may the borrowed sinks in
+  /// StatsServerOptions be destroyed (the destructor relies on this
+  /// ordering too, so a StatsServer member declared after its sinks
+  /// is destroyed — and therefore stopped — before them).
+  void Stop() EXCLUDES(lifecycle_mu_);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// The bound port (the real one when options.port was 0); 0 before
   /// Start() succeeds.
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
   uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -99,7 +106,11 @@ class StatsServer {
   HttpResponse HandleRequest(const std::string& path) const;
 
  private:
-  void Serve();                 ///< accept loop (server thread)
+  /// Accept loop (server thread). Takes the listen fd as a parameter —
+  /// captured at spawn time — so the thread never reads lifecycle
+  /// state, and therefore never needs lifecycle_mu_ (Stop() joins the
+  /// thread while holding it; the thread acquiring it would deadlock).
+  void Serve(int listen_fd);
   void HandleConnection(int fd) const;
 
   HttpResponse HandleMetrics() const;
@@ -110,15 +121,28 @@ class StatsServer {
   HttpResponse HandleQuerylogz() const;
   HttpResponse HandleIndex() const;
 
-  StatsServerOptions options_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  std::thread thread_;
+  StatsServerOptions options_;  ///< immutable after construction
+
+  /// Serialises Start/Stop/destruction. The server thread NEVER takes
+  /// this lock (see Serve()); everything it reads is either immutable
+  /// (options_), an atomic below, or a value captured at spawn.
+  Mutex lifecycle_mu_;
+  int listen_fd_ GUARDED_BY(lifecycle_mu_) = -1;
+  std::thread thread_ GUARDED_BY(lifecycle_mu_);
+
+  // lock-free: the flags below cross the lifecycle/server-thread
+  // boundary without the lifecycle lock. running_ and port_ are
+  // written in Start()/Stop() (release) and read anywhere (acquire);
+  // stop_ is the shutdown signal the accept loop polls; requests_ and
+  // started_us_ are plain monotonic stats.
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
+  std::atomic<uint16_t> port_{0};
   /// mutable: bumped from the const connection handler.
   mutable std::atomic<uint64_t> requests_{0};
-  std::chrono::steady_clock::time_point started_;
+  /// Start time as steady-clock microseconds (atomic: /statusz reads
+  /// it from the server thread while a restart could rewrite it).
+  std::atomic<int64_t> started_us_{0};
 };
 
 /// Blocking HTTP/1.0 GET against 127.0.0.1:port — the test client for

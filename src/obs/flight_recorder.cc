@@ -26,10 +26,20 @@ void Unlock(std::atomic<uint32_t>* busy) {
 
 }  // namespace
 
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 FlightRecorder::FlightRecorder(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
       slots_(std::make_unique<Slot[]>(capacity == 0 ? 1 : capacity)),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_ns_(SteadyNowNs()) {}
 
 void FlightRecorder::Record(std::string_view name, std::string_view category,
                             uint64_t dur_us, std::string_view args_json) {
@@ -118,7 +128,7 @@ void FlightRecorder::Reset() {
     Unlock(&slot.busy);
   }
   next_.store(0, std::memory_order_relaxed);
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
 }
 
 }  // namespace pathlog

@@ -69,12 +69,17 @@ class FlightRecorder {
               uint64_t dur_us = 0, std::string_view args_json = "");
 
   /// Microseconds since the recorder's epoch — callers stamp a span's
-  /// start with this and pass `NowUs() - start` as the duration.
+  /// start with this and pass `NowUs() - start` as the duration. The
+  /// epoch is an atomic so a concurrent Reset() moves the clock
+  /// without a data race (a span straddling the Reset records a
+  /// clamped duration, see FlightSpan).
   uint64_t NowUs() const {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - epoch_)
-            .count());
+    const int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    const int64_t since = now_ns - epoch_ns_.load(std::memory_order_relaxed);
+    return since <= 0 ? 0 : static_cast<uint64_t>(since / 1000);
   }
 
   size_t capacity() const { return capacity_; }
@@ -102,18 +107,43 @@ class FlightRecorder {
   void Reset();
 
  private:
+  // lock-free: the ring never takes a mutex. The happens-before
+  // contract per slot:
+  //
+  //   writer: TryLock(busy)        CAS 0→1, memory_order_acquire
+  //           write event fields   (plain writes, slot owned)
+  //           filled.store(true)   relaxed — meaningful only once the
+  //                                release below publishes it
+  //           Unlock(busy)         store 0, memory_order_release
+  //
+  //   reader: filled.load(relaxed) pre-filter only, may be stale
+  //           TryLock(busy)        CAS 0→1, memory_order_acquire —
+  //                                synchronises-with the writer's
+  //                                release, so every event field
+  //                                written before that Unlock is
+  //                                visible here
+  //           copy event, Unlock
+  //
+  // A slot's plain `event` fields are therefore only ever touched by
+  // the thread currently holding its busy flag; a CAS that loses
+  // drops (writer) or skips (reader) instead of waiting, so no path
+  // through Record/Snapshot ever blocks. next_ is a relaxed counter:
+  // seq values are unique and monotone, nothing else is inferred from
+  // its ordering. epoch_ns_ is relaxed too — Reset() only needs the
+  // new epoch to become visible eventually, not to order other writes.
   struct Slot {
     /// Try-only spinlock (0 = free, 1 = held) and a published flag so
     /// readers skip slots that were never written.
     std::atomic<uint32_t> busy{0};
     std::atomic<bool> filled{false};
-    FlightEvent event;
+    FlightEvent event;  // owned by whoever holds `busy`
   };
 
   const size_t capacity_;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> next_{0};
-  std::chrono::steady_clock::time_point epoch_;
+  /// Epoch as steady-clock nanoseconds (atomic: Reset() races NowUs()).
+  std::atomic<int64_t> epoch_ns_{0};
 };
 
 /// RAII span recorder: stamps the start on construction and records
@@ -128,7 +158,11 @@ class FlightSpan {
         start_us_(recorder != nullptr ? recorder->NowUs() : 0) {}
   ~FlightSpan() {
     if (recorder_ != nullptr) {
-      uint64_t dur = recorder_->NowUs() - start_us_;
+      const uint64_t now = recorder_->NowUs();
+      // now < start happens when a concurrent Reset() moved the epoch
+      // forward mid-span; clamp instead of recording a wrapped
+      // duration.
+      uint64_t dur = now > start_us_ ? now - start_us_ : 0;
       recorder_->Record(name_, category_, dur == 0 ? 1 : dur, args_json_);
     }
   }

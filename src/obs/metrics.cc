@@ -64,7 +64,7 @@ std::vector<double> DefaultLatencyBoundsMs() {
 
 Counter* MetricsRegistry::GetCounter(std::string_view name,
                                      std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -77,7 +77,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name,
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name,
                                  std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -91,7 +91,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name,
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds,
                                          std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -103,7 +103,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string counters, gauges, histograms;
   for (const auto& [name, e] : entries_) {
     if (e.counter) {
@@ -159,7 +159,7 @@ std::string LeLabel(double bound) {
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, e] : entries_) {
     if (!e.help.empty()) {
@@ -194,7 +194,7 @@ std::string MetricsRegistry::ToPrometheusText() const {
 
 std::vector<std::pair<std::string, const Histogram*>>
 MetricsRegistry::HistogramEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<std::string, const Histogram*>> out;
   for (const auto& [name, e] : entries_) {
     if (e.histogram) out.emplace_back(name, e.histogram.get());

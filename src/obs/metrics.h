@@ -28,13 +28,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/result.h"
+#include "base/thread_annotations.h"
 
 namespace pathlog {
 
@@ -45,6 +46,10 @@ class Counter {
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // lock-free: a single relaxed atomic. Inc/value never block; readers
+  // may observe a count that is mid-update relative to other metrics
+  // (exporters snapshot, exact cross-metric consistency is not
+  // promised).
   std::atomic<uint64_t> value_{0};
 };
 
@@ -61,6 +66,8 @@ class Gauge {
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // lock-free: Set is one relaxed store; Add is a CAS loop over the
+  // same atomic, so concurrent Adds never lose an increment.
   std::atomic<double> value_{0};
 };
 
@@ -94,6 +101,12 @@ class Histogram {
   double Quantile(double q) const;
 
  private:
+  // lock-free: bounds_ is immutable after construction; each bucket,
+  // the count, and the sum are independent relaxed atomics (the sum is
+  // a CAS loop). A concurrent export may observe a bucket increment
+  // before the matching count/sum update — each series is individually
+  // exact once writers quiesce, which is what the TSan hammer test
+  // asserts (exported count == sum of per-thread observations).
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
   std::atomic<uint64_t> count_{0};
@@ -140,8 +153,8 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_ GUARDED_BY(mu_);
 };
 
 /// Flattened sample values of an exported registry: counters and

@@ -10,7 +10,7 @@ namespace pathlog {
 void Profiler::RecordRuleEvaluation(std::string_view rule, uint64_t wall_ns,
                                     uint64_t delta_passes,
                                     uint64_t derivations) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = rules_.find(rule);
   if (it == rules_.end()) {
     RuleProfile p;
@@ -26,7 +26,7 @@ void Profiler::RecordRuleEvaluation(std::string_view rule, uint64_t wall_ns,
 
 void Profiler::RecordDriverLiteral(std::string_view literal, double estimated,
                                    uint64_t actual, uint64_t invocations) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = literals_.find(literal);
   if (it == literals_.end()) {
     LiteralProfile p;
@@ -41,7 +41,7 @@ void Profiler::RecordDriverLiteral(std::string_view literal, double estimated,
 }
 
 void Profiler::RecordRoutes(const RouteTotals& delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   routes_.inverted_probes += delta.inverted_probes;
   routes_.extent_scans += delta.extent_scans;
   routes_.universe_scans += delta.universe_scans;
@@ -49,7 +49,7 @@ void Profiler::RecordRoutes(const RouteTotals& delta) {
 }
 
 std::vector<Profiler::RuleProfile> Profiler::RuleProfiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<RuleProfile> out;
   out.reserve(rules_.size());
   for (const auto& [_, p] : rules_) {
@@ -67,7 +67,7 @@ std::vector<Profiler::RuleProfile> Profiler::RuleProfiles() const {
 }
 
 std::vector<Profiler::LiteralProfile> Profiler::LiteralProfiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<LiteralProfile> out;
   out.reserve(literals_.size());
   for (const auto& [_, p] : literals_) out.push_back(p);
@@ -75,7 +75,7 @@ std::vector<Profiler::LiteralProfile> Profiler::LiteralProfiles() const {
 }
 
 Profiler::RouteTotals Profiler::routes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return routes_;
 }
 
@@ -128,7 +128,7 @@ std::string Profiler::Report() const {
 }
 
 void Profiler::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.clear();
   literals_.clear();
   routes_ = RouteTotals{};

@@ -15,10 +15,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace pathlog {
 
@@ -90,10 +92,11 @@ class Profiler {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, RuleProfile, std::less<>> rules_;
-  std::map<std::string, LiteralProfile, std::less<>> literals_;
-  RouteTotals routes_;
+  mutable Mutex mu_;
+  std::map<std::string, RuleProfile, std::less<>> rules_ GUARDED_BY(mu_);
+  std::map<std::string, LiteralProfile, std::less<>> literals_
+      GUARDED_BY(mu_);
+  RouteTotals routes_ GUARDED_BY(mu_);
 };
 
 }  // namespace pathlog

@@ -53,7 +53,7 @@ QueryLog::QueryLog(QueryLogOptions options)
       fops_(options_.fops != nullptr ? options_.fops : DefaultFileOps()) {}
 
 QueryLog::~QueryLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ != nullptr) (void)file_->Close();
 }
 
@@ -91,7 +91,7 @@ Status QueryLog::Append(QueryLogRecord rec) {
   std::string line = QueryLogRecordToJson(rec);
   line += "\n";
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   recent_.push_back(line.substr(0, line.size() - 1));
   while (recent_.size() > options_.recent_capacity) recent_.pop_front();
   ++records_written_;
@@ -102,23 +102,23 @@ Status QueryLog::Append(QueryLogRecord rec) {
 }
 
 std::vector<std::string> QueryLog::Recent(size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const size_t count = std::min(n, recent_.size());
   return std::vector<std::string>(recent_.end() - count, recent_.end());
 }
 
 uint64_t QueryLog::records_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return records_written_;
 }
 
 uint64_t QueryLog::rotations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rotations_;
 }
 
 Status QueryLog::file_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return file_error_;
 }
 

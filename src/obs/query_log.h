@@ -27,12 +27,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "store/file_ops.h"
 
 namespace pathlog {
@@ -108,19 +109,22 @@ class QueryLog {
   Status file_error() const;
 
  private:
-  Status EnsureOpenLocked();
-  Status AppendLineLocked(const std::string& line);
+  Status EnsureOpenLocked() REQUIRES(mu_);
+  Status AppendLineLocked(const std::string& line) REQUIRES(mu_);
 
-  QueryLogOptions options_;
+  QueryLogOptions options_;  ///< immutable after construction
   FileOps* fops_;  ///< options_.fops or DefaultFileOps()
 
-  mutable std::mutex mu_;
-  std::unique_ptr<FileOps::WritableFile> file_;
-  uint64_t file_bytes_ = 0;
-  uint64_t records_written_ = 0;
-  uint64_t rotations_ = 0;
-  Status file_error_;
-  std::deque<std::string> recent_;
+  // One leaf mutex covers the file, its rotation state, and the recent
+  // ring, so a rotation (close → rename → reopen) is atomic with
+  // respect to concurrent Append()s and /querylogz reads.
+  mutable Mutex mu_;
+  std::unique_ptr<FileOps::WritableFile> file_ GUARDED_BY(mu_);
+  uint64_t file_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t records_written_ GUARDED_BY(mu_) = 0;
+  uint64_t rotations_ GUARDED_BY(mu_) = 0;
+  Status file_error_ GUARDED_BY(mu_);
+  std::deque<std::string> recent_ GUARDED_BY(mu_);
 };
 
 }  // namespace pathlog

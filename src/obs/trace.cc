@@ -4,43 +4,44 @@
 
 namespace pathlog {
 
+// Timestamps are taken under mu_ (NowUs reads epoch_, which Reset()
+// rewrites), which also guarantees buffer order matches timestamp
+// order within one tracer.
+
 void Tracer::Begin(std::string_view name, std::string_view category,
                    std::string_view args_json) {
-  const uint64_t ts = NowUs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(TraceEvent{'B', std::string(name), std::string(category),
-                               ts, std::string(args_json)});
+                               NowUs(), std::string(args_json)});
   open_.push_back(std::string(name));
 }
 
 void Tracer::End() {
-  const uint64_t ts = NowUs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (open_.empty()) return;  // unmatched E: drop rather than corrupt
-  events_.push_back(TraceEvent{'E', open_.back(), "pathlog", ts, ""});
+  events_.push_back(TraceEvent{'E', open_.back(), "pathlog", NowUs(), ""});
   open_.pop_back();
 }
 
 void Tracer::Instant(std::string_view name, std::string_view category,
                      std::string_view args_json) {
-  const uint64_t ts = NowUs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(TraceEvent{'i', std::string(name), std::string(category),
-                               ts, std::string(args_json)});
+                               NowUs(), std::string(args_json)});
 }
 
 size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size();
 }
 
 int Tracer::open_spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(open_.size());
 }
 
 std::string Tracer::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   auto append = [&](const TraceEvent& e) {
@@ -79,7 +80,7 @@ Status Tracer::WriteTo(const std::string& path, FileOps* fops) const {
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.clear();
   open_.clear();
   epoch_ = std::chrono::steady_clock::now();

@@ -21,12 +21,13 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "store/file_ops.h"
 
 namespace pathlog {
@@ -71,19 +72,21 @@ class Tracer {
   void Reset();
 
  private:
-  uint64_t NowUs() const {
+  // Reads epoch_, which Reset() rewrites, so timestamps are taken
+  // under the same lock that orders them into the buffer.
+  uint64_t NowUs() const REQUIRES(mu_) {
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - epoch_)
             .count());
   }
 
-  mutable std::mutex mu_;
-  std::chrono::steady_clock::time_point epoch_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::chrono::steady_clock::time_point epoch_ GUARDED_BY(mu_);
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
   /// Names of currently open B spans (E events replay the name so the
   /// trace viewer can match them without relying on stack order).
-  std::vector<std::string> open_;
+  std::vector<std::string> open_ GUARDED_BY(mu_);
 };
 
 /// RAII span: no-op when `tracer` is null.

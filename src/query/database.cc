@@ -128,6 +128,11 @@ Database::Database(DatabaseOptions options) : options_(options) {
 }
 
 void Database::SetObsSinks(const ObsSinks& obs) {
+  // Quiesced-setup only (see the header): lock-free paths — metrics
+  // counters, RecordQueryObs — read these sink pointers without the
+  // guard, so no other thread may be inside the database during the
+  // swap. The lock still orders the WAL re-attachment below.
+  WriteLock lock(*this);
   options_.engine.obs = obs;
   options_.triggers.obs = obs;
   store_.set_metrics(obs.metrics);
@@ -181,9 +186,10 @@ void Database::RecordQueryObs(QueryLogRecord rec) {
 void Database::MaybeDumpFlightRecorder(std::string_view reason) {
   FlightRecorder* flight = options_.engine.obs.flight;
   if (flight == nullptr || fops_ == nullptr || durable_dir_.empty()) return;
-  const std::string path =
-      StrCat(durable_dir_, "/flightrec-", UnixMillis(), "-", ++flight_dumps_,
-             ".trace.json");
+  const std::string path = StrCat(
+      durable_dir_, "/flightrec-", UnixMillis(), "-",
+      flight_dumps_.fetch_add(1, std::memory_order_relaxed) + 1,
+      ".trace.json");
   flight->Record("flightrec.dump", "database", /*dur_us=*/0,
                  StrCat("{\"reason\":\"", reason, "\"}"));
   if (!flight->WriteTo(path, fops_).ok()) return;  // best-effort
@@ -233,6 +239,73 @@ void Database::InternNames(const Ref& t) {
   }
 }
 
+bool Database::NamesInterned(const Ref& t) const {
+  // Mirrors InternNames exactly: true iff InternNames(t) would be a
+  // no-op, i.e. evaluating t cannot grow the store's name tables.
+  switch (t.kind) {
+    case RefKind::kName:
+      switch (t.name_kind) {
+        case NameKind::kSymbol:
+          return store_.FindSymbol(t.text).has_value();
+        case NameKind::kInt:
+          return store_.FindInt(t.int_value).has_value();
+        case NameKind::kString:
+          return store_.FindString(t.text).has_value();
+      }
+      return false;
+    case RefKind::kVar:
+      return true;
+    case RefKind::kParen:
+      return NamesInterned(*t.base);
+    case RefKind::kPath:
+      if (!NamesInterned(*t.base) || !NamesInterned(*t.method)) return false;
+      for (const RefPtr& a : t.args) {
+        if (!NamesInterned(*a)) return false;
+      }
+      return true;
+    case RefKind::kMolecule:
+      if (!NamesInterned(*t.base)) return false;
+      for (const Filter& f : t.filters) {
+        if (f.method && !NamesInterned(*f.method)) return false;
+        for (const RefPtr& a : f.args) {
+          if (!NamesInterned(*a)) return false;
+        }
+        if (f.value && !NamesInterned(*f.value)) return false;
+        for (const RefPtr& e : f.elems) {
+          if (!NamesInterned(*e)) return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+bool Database::NothingPendingLocked() const {
+  // Mirrors CommitDurable's empty-batch test: true when a commit would
+  // be a no-op.
+  if (!wal_) return true;
+  return store_.UniverseSize() == wal_objects_ &&
+         store_.generation() == wal_facts_ && pending_program_text_.empty() &&
+         trigger_watermark_ == wal_trigger_watermark_;
+}
+
+bool Database::ReadOnlyReadyLocked(const Ref& t) const {
+  // A degraded database skips materialisation and commit anyway, so
+  // only the intern check gates its fast path.
+  if (dirty_ && !degraded()) return false;
+  if (!degraded() && !NothingPendingLocked()) return false;
+  return NamesInterned(t);
+}
+
+bool Database::ReadOnlyReadyLocked(const struct Query& query) const {
+  if (dirty_ && !degraded()) return false;
+  if (!degraded() && !NothingPendingLocked()) return false;
+  for (const Literal& lit : query.body) {
+    if (!NamesInterned(*lit.ref)) return false;
+  }
+  return true;
+}
+
 Status Database::Load(std::string_view program_text) {
   Result<Program> program = ParseProgram(program_text);
   if (!program.ok()) return program.status();
@@ -240,6 +313,11 @@ Status Database::Load(std::string_view program_text) {
 }
 
 Status Database::LoadProgram(const Program& program) {
+  WriteLock lock(*this);
+  return LoadProgramLocked(program);
+}
+
+Status Database::LoadProgramLocked(const Program& program) {
   if (degraded()) return DegradedError();
   TraceSpan load_span(options_.engine.obs.tracer, "db.load", "database");
   if (!program.queries.empty()) {
@@ -294,6 +372,11 @@ Status Database::LoadProgram(const Program& program) {
 }
 
 Status Database::Materialize() {
+  WriteLock lock(*this);
+  return MaterializeLocked();
+}
+
+Status Database::MaterializeLocked() {
   if (degraded()) return DegradedError();
   TraceSpan mat_span(options_.engine.obs.tracer, "db.materialize",
                      "database");
@@ -318,7 +401,7 @@ Status Database::Materialize() {
   PATHLOG_RETURN_IF_ERROR(run_status);
   dirty_ = false;
   if (options_.fire_triggers_on_materialize && !triggers_.empty()) {
-    PATHLOG_RETURN_IF_ERROR(FireTriggers());
+    PATHLOG_RETURN_IF_ERROR(FireTriggersLocked());
   }
   if (options_.type_check_after_materialize && !signatures_.empty()) {
     TypeChecker checker(store_, signatures_);
@@ -355,18 +438,66 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
       query_budget != nullptr ? query_budget->rejections() : 0;
   const auto query_t0 = std::chrono::steady_clock::now();
   Result<ResultSet> answer = [&]() -> Result<ResultSet> {
-  // Degraded read-only mode: keep answering from the last consistent
-  // state — no re-materialisation (it would grow the store past what
-  // the broken log can persist) and no WAL commit.
-  if (dirty_ && !degraded()) {
-    PATHLOG_RETURN_IF_ERROR(Materialize());
+    {
+      // Read-only fast path: nothing to materialise, intern or commit,
+      // so evaluation runs under a shared hold of the snapshot guard,
+      // concurrently with other readers.
+      ReadLock lock(*this);
+      if (ReadOnlyReadyLocked(query)) return RunQueryLocked(query, &rec, query_t0);
+    }
+    // Mutating slow path, under the exclusive lock. Degraded read-only
+    // mode keeps answering from the last consistent state — no
+    // re-materialisation (it would grow the store past what the broken
+    // log can persist) and no WAL commit.
+    WriteLock lock(*this);
+    if (dirty_ && !degraded()) {
+      PATHLOG_RETURN_IF_ERROR(MaterializeLocked());
+    }
+    for (const Literal& lit : query.body) {
+      PATHLOG_RETURN_IF_ERROR(CheckWellFormed(*lit.ref));
+      InternNames(*lit.ref);
+    }
+    // Queries intern names; recovery replays oids densely, so even
+    // fact-free universe growth must reach the log. (A degraded
+    // database skips the commit — the checkpoint that recovers it
+    // snapshots the whole store, interns included.)
+    if (!degraded()) {
+      PATHLOG_RETURN_IF_ERROR(CommitDurable());
+    }
+    return RunQueryLocked(query, &rec, query_t0);
+  }();
+  rec.latency_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - query_t0)
+                       .count();
+  rec.budget_wall_ms = rec.latency_ms;
+  if (query_budget != nullptr) {
+    rec.budget_rejected =
+        query_budget->rejections() - query_rejections_before > 0;
+    rec.budget_derivations = query_budget->derivations();
   }
+  if (answer.ok()) {
+    rec.rows = answer->size();
+  } else {
+    // The locked core may never have run (well-formedness or plan
+    // error): sample the store size for the record under a shared hold.
+    ReadLock lock(*this);
+    rec.budget_store_bytes = store_.ApproxBytes();
+    rec.status = StatusCodeName(answer.status().code());
+  }
+  RecordQueryObs(std::move(rec));
+  return answer;
+}
+
+Result<ResultSet> Database::RunQueryLocked(
+    const struct Query& query, QueryLogRecord* rec,
+    std::chrono::steady_clock::time_point t0) {
+  // Sampled under the lock: the store cannot change while we hold it.
+  rec->budget_store_bytes = store_.ApproxBytes();
   TraceSpan query_span(options_.engine.obs.tracer, "db.query", "database");
   std::vector<Literal> body = query.body;
   std::set<std::string> user_vars;
   for (const Literal& lit : body) {
     PATHLOG_RETURN_IF_ERROR(CheckWellFormed(*lit.ref));
-    InternNames(*lit.ref);
     // Variables occurring only under negation are existential inside
     // the negated literal and are not answer variables.
     if (lit.negated) continue;
@@ -378,14 +509,7 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
       &body, store_, nullptr, profiler != nullptr ? &estimates : nullptr,
       options_.use_analysis_hints ? &planner_hints_ : nullptr,
       options_.engine.planner_stats));
-  rec.plan_fingerprint = PlanFingerprint(body);
-  // Queries intern names; recovery replays oids densely, so even
-  // fact-free universe growth must reach the log. (A degraded database
-  // skips the commit — the checkpoint that recovers it snapshots the
-  // whole store, interns included.)
-  if (!degraded()) {
-    PATHLOG_RETURN_IF_ERROR(CommitDurable());
-  }
+  rec->plan_fingerprint = PlanFingerprint(body);
 
   std::vector<std::string> vars(user_vars.begin(), user_vars.end());
   ResultSet result(vars);
@@ -440,10 +564,10 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
     CountBudgetRejections(options_.engine.obs.metrics,
                           budget->rejections() - rejections_before);
   }
-  rec.route_inverted_probes = eval.inverted_probes();
-  rec.route_extent_scans = eval.extent_scans();
-  rec.route_universe_scans = eval.universe_scans();
-  rec.route_duplicates_suppressed = eval.duplicates_suppressed();
+  rec->route_inverted_probes = eval.inverted_probes();
+  rec->route_extent_scans = eval.extent_scans();
+  rec->route_universe_scans = eval.universe_scans();
+  rec->route_duplicates_suppressed = eval.duplicates_suppressed();
   if (!r.ok()) return r.status();
   result.Dedup();
 
@@ -470,36 +594,19 @@ Result<ResultSet> Database::RunQuery(const struct Query& query) {
             m->GetHistogram("pathlog_query_ms", DefaultLatencyBoundsMs(),
                             "query wall time in milliseconds")) {
       h->Observe(std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - query_t0)
+                     std::chrono::steady_clock::now() - t0)
                      .count());
     }
   }
   return result;
-  }();
-  rec.latency_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - query_t0)
-                       .count();
-  rec.budget_wall_ms = rec.latency_ms;
-  rec.budget_store_bytes = store_.ApproxBytes();
-  if (query_budget != nullptr) {
-    rec.budget_rejected =
-        query_budget->rejections() - query_rejections_before > 0;
-    rec.budget_derivations = query_budget->derivations();
-  }
-  if (answer.ok()) {
-    rec.rows = answer->size();
-  } else {
-    rec.status = StatusCodeName(answer.status().code());
-  }
-  RecordQueryObs(std::move(rec));
-  return answer;
 }
 
 Result<std::string> Database::ExplainQuery(std::string_view query_text) {
   Result<struct Query> q = ParseQuery(query_text);
   if (!q.ok()) return q.status();
+  WriteLock lock(*this);
   if (dirty_ && !degraded()) {
-    PATHLOG_RETURN_IF_ERROR(Materialize());
+    PATHLOG_RETURN_IF_ERROR(MaterializeLocked());
   }
   std::vector<Literal> body = q->body;
   for (const Literal& lit : body) {
@@ -543,16 +650,51 @@ Result<std::vector<Oid>> Database::Eval(std::string_view ref_text) {
       query_budget != nullptr ? query_budget->rejections() : 0;
   const auto t0 = std::chrono::steady_clock::now();
   Result<std::vector<Oid>> answer = [&]() -> Result<std::vector<Oid>> {
-  Result<RefPtr> ref = ParseRef(ref_text);
-  if (!ref.ok()) return ref.status();
-  PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
-  InternNames(**ref);
-  if (dirty_ && !degraded()) {
-    PATHLOG_RETURN_IF_ERROR(Materialize());
+    Result<RefPtr> ref = ParseRef(ref_text);
+    if (!ref.ok()) return ref.status();
+    PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
+    {
+      // Read-only fast path (see RunQuery): evaluate under a shared
+      // hold, concurrently with other readers.
+      ReadLock lock(*this);
+      if (ReadOnlyReadyLocked(**ref)) return EvalLocked(**ref, &rec);
+    }
+    WriteLock lock(*this);
+    InternNames(**ref);
+    if (dirty_ && !degraded()) {
+      PATHLOG_RETURN_IF_ERROR(MaterializeLocked());
+    }
+    if (!degraded()) {
+      PATHLOG_RETURN_IF_ERROR(CommitDurable());
+    }
+    return EvalLocked(**ref, &rec);
+  }();
+  rec.latency_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  rec.budget_wall_ms = rec.latency_ms;
+  if (query_budget != nullptr) {
+    rec.budget_rejected =
+        query_budget->rejections() - query_rejections_before > 0;
+    rec.budget_derivations = query_budget->derivations();
   }
-  if (!degraded()) {
-    PATHLOG_RETURN_IF_ERROR(CommitDurable());
+  if (answer.ok()) {
+    rec.rows = answer->size();
+  } else {
+    // The locked core may never have run (parse error): sample the
+    // store size for the record under a shared hold.
+    ReadLock lock(*this);
+    rec.budget_store_bytes = store_.ApproxBytes();
+    rec.status = StatusCodeName(answer.status().code());
   }
+  RecordQueryObs(std::move(rec));
+  return answer;
+}
+
+Result<std::vector<Oid>> Database::EvalLocked(const Ref& ref,
+                                              QueryLogRecord* rec) {
+  // Sampled under the lock: the store cannot change while we hold it.
+  rec->budget_store_bytes = store_.ApproxBytes();
   SemanticStructure I(store_);
   RefEvaluator eval(I, options_.engine.use_inverted_indexes);
   ResourceBudget* budget = options_.engine.budget;
@@ -562,7 +704,7 @@ Result<std::vector<Oid>> Database::Eval(std::string_view ref_text) {
   eval.set_budget(budget);
   Bindings b;
   std::vector<Oid> out;
-  Result<bool> r = eval.Enumerate(**ref, &b, [&](Oid o) -> Result<bool> {
+  Result<bool> r = eval.Enumerate(ref, &b, [&](Oid o) -> Result<bool> {
     out.push_back(o);
     return true;
   });
@@ -570,32 +712,14 @@ Result<std::vector<Oid>> Database::Eval(std::string_view ref_text) {
     CountBudgetRejections(options_.engine.obs.metrics,
                           budget->rejections() - rejections_before);
   }
-  rec.route_inverted_probes = eval.inverted_probes();
-  rec.route_extent_scans = eval.extent_scans();
-  rec.route_universe_scans = eval.universe_scans();
-  rec.route_duplicates_suppressed = eval.duplicates_suppressed();
+  rec->route_inverted_probes = eval.inverted_probes();
+  rec->route_extent_scans = eval.extent_scans();
+  rec->route_universe_scans = eval.universe_scans();
+  rec->route_duplicates_suppressed = eval.duplicates_suppressed();
   if (!r.ok()) return r.status();
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
-  }();
-  rec.latency_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
-  rec.budget_wall_ms = rec.latency_ms;
-  rec.budget_store_bytes = store_.ApproxBytes();
-  if (query_budget != nullptr) {
-    rec.budget_rejected =
-        query_budget->rejections() - query_rejections_before > 0;
-    rec.budget_derivations = query_budget->derivations();
-  }
-  if (answer.ok()) {
-    rec.rows = answer->size();
-  } else {
-    rec.status = StatusCodeName(answer.status().code());
-  }
-  RecordQueryObs(std::move(rec));
-  return answer;
 }
 
 Result<bool> Database::Holds(std::string_view ref_text) {
@@ -611,40 +735,29 @@ Result<bool> Database::Holds(std::string_view ref_text) {
       query_budget != nullptr ? query_budget->rejections() : 0;
   const auto t0 = std::chrono::steady_clock::now();
   Result<bool> answer = [&]() -> Result<bool> {
-  Result<RefPtr> ref = ParseRef(ref_text);
-  if (!ref.ok()) return ref.status();
-  PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
-  InternNames(**ref);
-  if (dirty_ && !degraded()) {
-    PATHLOG_RETURN_IF_ERROR(Materialize());
-  }
-  if (!degraded()) {
-    PATHLOG_RETURN_IF_ERROR(CommitDurable());
-  }
-  SemanticStructure I(store_);
-  RefEvaluator eval(I, options_.engine.use_inverted_indexes);
-  ResourceBudget* budget = options_.engine.budget;
-  if (budget != nullptr) budget->Arm();
-  const uint64_t rejections_before =
-      budget != nullptr ? budget->rejections() : 0;
-  eval.set_budget(budget);
-  Bindings b;
-  Result<bool> sat = eval.Satisfiable(**ref, &b);
-  if (budget != nullptr) {
-    CountBudgetRejections(options_.engine.obs.metrics,
-                          budget->rejections() - rejections_before);
-  }
-  rec.route_inverted_probes = eval.inverted_probes();
-  rec.route_extent_scans = eval.extent_scans();
-  rec.route_universe_scans = eval.universe_scans();
-  rec.route_duplicates_suppressed = eval.duplicates_suppressed();
-  return sat;
+    Result<RefPtr> ref = ParseRef(ref_text);
+    if (!ref.ok()) return ref.status();
+    PATHLOG_RETURN_IF_ERROR(CheckWellFormed(**ref));
+    {
+      // Read-only fast path (see RunQuery): evaluate under a shared
+      // hold, concurrently with other readers.
+      ReadLock lock(*this);
+      if (ReadOnlyReadyLocked(**ref)) return HoldsLocked(**ref, &rec);
+    }
+    WriteLock lock(*this);
+    InternNames(**ref);
+    if (dirty_ && !degraded()) {
+      PATHLOG_RETURN_IF_ERROR(MaterializeLocked());
+    }
+    if (!degraded()) {
+      PATHLOG_RETURN_IF_ERROR(CommitDurable());
+    }
+    return HoldsLocked(**ref, &rec);
   }();
   rec.latency_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
   rec.budget_wall_ms = rec.latency_ms;
-  rec.budget_store_bytes = store_.ApproxBytes();
   if (query_budget != nullptr) {
     rec.budget_rejected =
         query_budget->rejections() - query_rejections_before > 0;
@@ -653,19 +766,48 @@ Result<bool> Database::Holds(std::string_view ref_text) {
   if (answer.ok()) {
     rec.rows = *answer ? 1 : 0;
   } else {
+    // The locked core may never have run (parse error): sample the
+    // store size for the record under a shared hold.
+    ReadLock lock(*this);
+    rec.budget_store_bytes = store_.ApproxBytes();
     rec.status = StatusCodeName(answer.status().code());
   }
   RecordQueryObs(std::move(rec));
   return answer;
 }
 
+Result<bool> Database::HoldsLocked(const Ref& ref, QueryLogRecord* rec) {
+  // Sampled under the lock: the store cannot change while we hold it.
+  rec->budget_store_bytes = store_.ApproxBytes();
+  SemanticStructure I(store_);
+  RefEvaluator eval(I, options_.engine.use_inverted_indexes);
+  ResourceBudget* budget = options_.engine.budget;
+  if (budget != nullptr) budget->Arm();
+  const uint64_t rejections_before =
+      budget != nullptr ? budget->rejections() : 0;
+  eval.set_budget(budget);
+  Bindings b;
+  Result<bool> sat = eval.Satisfiable(ref, &b);
+  if (budget != nullptr) {
+    CountBudgetRejections(options_.engine.obs.metrics,
+                          budget->rejections() - rejections_before);
+  }
+  rec->route_inverted_probes = eval.inverted_probes();
+  rec->route_extent_scans = eval.extent_scans();
+  rec->route_universe_scans = eval.universe_scans();
+  rec->route_duplicates_suppressed = eval.duplicates_suppressed();
+  return sat;
+}
+
 Status Database::TypeCheck(std::vector<TypeViolation>* violations) const {
+  ReadLock lock(*this);
   TypeChecker checker(store_, signatures_);
   checker.CheckAll(violations);
   return Status::OK();
 }
 
 LintReport Database::Lint() const {
+  ReadLock lock(*this);
   Program program;
   program.rules = rules_;
   program.triggers = triggers_;
@@ -701,6 +843,11 @@ void Database::RefreshAnalysisHints() {
 }
 
 Status Database::FireTriggers() {
+  WriteLock lock(*this);
+  return FireTriggersLocked();
+}
+
+Status Database::FireTriggersLocked() {
   if (degraded()) return DegradedError();
   // The engine's governance follows the cascade: the shared resource
   // budget if one is attached, else the engine's wall deadline.
@@ -748,7 +895,10 @@ Result<std::string> Database::SaveSnapshotBytes() const {
 }
 
 Status Database::SaveSnapshotFile(const std::string& path) const {
-  Result<std::string> bytes = SaveSnapshotBytes();
+  Result<std::string> bytes = [&]() -> Result<std::string> {
+    ReadLock lock(*this);
+    return SaveSnapshotBytes();
+  }();
   if (!bytes.ok()) return bytes.status();
   return WriteFileAtomic(DefaultFileOps(), path, *bytes);
 }
@@ -977,6 +1127,9 @@ Status Database::DegradedError() const {
 
 Status Database::EnterDegradedMode(Status cause) {
   wal_error_ = cause;
+  // Publish to unlocked readers of degraded() — the health callback
+  // runs on the stats server's accept thread.
+  degraded_.store(true, std::memory_order_release);
   ++degraded_entries_;
   if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
     if (Counter* c =
@@ -1061,10 +1214,10 @@ Status Database::CommitDurable() {
         c->Inc();
       }
     }
-    return Checkpoint();
+    return CheckpointLocked();
   }
   if (dur.checkpoint_every > 0 && wal_records_ >= dur.checkpoint_every) {
-    return Checkpoint();
+    return CheckpointLocked();
   }
   return Status::OK();
 }
@@ -1079,6 +1232,11 @@ Status Database::FinishMutation(Status st) {
 }
 
 Status Database::Checkpoint() {
+  WriteLock lock(*this);
+  return CheckpointLocked();
+}
+
+Status Database::CheckpointLocked() {
   if (fops_ == nullptr) {
     return InvalidArgument(
         "Checkpoint() is only meaningful for a database from "
@@ -1108,6 +1266,7 @@ Status Database::Checkpoint() {
   // everything the broken WAL could not persist, so read-write service
   // resumes on a fresh log.
   wal_error_ = Status::OK();
+  degraded_.store(false, std::memory_order_release);
   if (MetricsRegistry* m = options_.engine.obs.metrics; m != nullptr) {
     if (Gauge* g = m->GetGauge("pathlog_db_degraded",
                                "1 while serving degraded read-only")) {
@@ -1118,6 +1277,7 @@ Status Database::Checkpoint() {
 }
 
 DatabaseHealth Database::Health() const {
+  ReadLock lock(*this);
   DatabaseHealth h;
   h.durable = wal_ != nullptr || fops_ != nullptr;
   h.degraded = degraded();
@@ -1159,10 +1319,11 @@ Status Database::ReplayProgramText(const std::string& text) {
   for (const Rule& rule : parsed->rules) {
     if (have.count(ToString(rule)) == 0) fresh.rules.push_back(rule);
   }
-  return LoadProgram(fresh);
+  return LoadProgramLocked(fresh);
 }
 
 std::string Database::ExplainFact(uint64_t gen) const {
+  ReadLock lock(*this);
   if (gen >= store_.generation()) {
     return "no such fact.";
   }
@@ -1190,6 +1351,7 @@ std::string Database::ExplainFact(uint64_t gen) const {
 }
 
 Result<std::string> Database::ExplainFactJson(uint64_t gen) const {
+  ReadLock lock(*this);
   if (gen >= store_.generation()) {
     return Status(NotFound(StrCat("no fact with generation ", gen)));
   }

@@ -9,19 +9,40 @@
 //   db.Query("?- X:employee[salary->S].")       -> ResultSet {X, S}
 //   db.Eval("p1..assistants.salary")            -> objects denoted
 //   db.Holds("p1[salary->1000]")                -> bool
+//
+// Concurrency contract (docs/IMPLEMENTATION.md "Concurrency contract"
+// has the full statement): every public entry point serialises on one
+// reader/writer snapshot guard. Query/RunQuery/Eval/Holds take the
+// guard shared when the operation is provably read-only — nothing to
+// materialise, every name already interned, nothing pending for the
+// WAL — so concurrent read-only queries evaluate in parallel and are
+// safe against a concurrent mutator (Load/Materialize/Checkpoint/
+// FireTriggers take the guard exclusively). degraded() and Health()
+// are safe from any thread (the stats server's health callback runs
+// on the accept thread). NOT covered: the direct store()/rules()/
+// engine_stats()/provenance()/trigger_stats() accessors return
+// references into guarded state without holding the guard — callers
+// own the quiescence there — and a shared options_.engine.budget is
+// per-operation state, so attach budgets only to single-threaded
+// databases. SetObsSinks swaps sink pointers that lock-free readers
+// consult; call it only while no other thread is inside the database.
 
 #ifndef PATHLOG_QUERY_DATABASE_H_
 #define PATHLOG_QUERY_DATABASE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "active/trigger_engine.h"
 #include "ast/program.h"
+#include "base/mutex.h"
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "eval/engine.h"
 #include "lint/lint.h"
 #include "obs/query_log.h"
@@ -112,6 +133,12 @@ struct DatabaseOptions {
   /// identical with or without hints — only literal order and cost
   /// estimates change (tests/analysis_differential_test.cc).
   bool use_analysis_hints = false;
+  /// Acquire the reader/writer snapshot guard on every public entry
+  /// point (see the concurrency contract above). Default on. Off makes
+  /// the database strictly single-threaded again and exists only so
+  /// the BM_Db_LockPaired bench twin can isolate the guard's cost;
+  /// never disable it in a served process.
+  bool concurrency_guard = true;
   /// Durability policy; consulted only by databases from Open().
   DurabilityOptions durability;
   /// Structured per-query JSONL log (obs/query_log.h); borrowed, may
@@ -211,22 +238,32 @@ class Database {
   /// injects a file system (fault injection in tests); nullptr = real.
   static Result<Database> Open(const std::string& dir,
                                DatabaseOptions options = {},
-                               FileOps* fops = nullptr);
+                               FileOps* fops = nullptr)
+      NO_THREAD_SAFETY_ANALYSIS;  // single-threaded construction
 
   /// Writes a full snapshot atomically and resets the WAL. Bounds
   /// recovery time; also the only way to resume logging after a WAL
   /// write error. No-op rules: safe to call at any commit boundary.
   Status Checkpoint();
 
-  /// True when this database was produced by Open() and is logging.
-  bool durable() const { return wal_ != nullptr; }
+  /// True when this database was produced by Open() (durable mode; the
+  /// WAL itself may be momentarily absent while degraded). Reads a
+  /// pointer set once before the database can be shared, so it is safe
+  /// from any thread.
+  bool durable() const { return fops_ != nullptr; }
 
   /// True while the database is serving degraded read-only: a WAL
   /// write failed persistently (or exhausted its transient retries),
   /// so queries keep answering from the last consistent state while
   /// every mutation fails fast with kUnavailable. The next successful
   /// Checkpoint() — the recovery probe — restores read-write service.
-  bool degraded() const { return fops_ != nullptr && !wal_error_.ok(); }
+  /// Safe from any thread: reads an atomic mirror of the latched WAL
+  /// error, maintained by EnterDegradedMode() and CheckpointLocked()
+  /// (the stats server's health callback calls this from its accept
+  /// thread).
+  bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
 
   /// Health summary: durability mode, degraded state and cause, WAL
   /// retry/rotation counters, and store size.
@@ -257,17 +294,94 @@ class Database {
   const std::string& DisplayName(Oid o) const { return store_.DisplayName(o); }
 
  private:
+  // ---- The snapshot guard ------------------------------------------
+  // RAII holds on state_mu_ honouring options_.concurrency_guard (off
+  // means no-op, strictly single-threaded). The bodies are conditional,
+  // so they opt out of the analysis; the ACQUIRE attributes still
+  // describe the guarded (default) configuration to callers. Public
+  // entry points construct one of these; private *Locked helpers are
+  // annotated REQUIRES and never lock.
+  class SCOPED_CAPABILITY ReadLock {
+   public:
+    explicit ReadLock(const Database& db)
+        ACQUIRE_SHARED(db.state_mu_) NO_THREAD_SAFETY_ANALYSIS
+        : mu_(db.options_.concurrency_guard ? db.state_mu_.get() : nullptr) {
+      if (mu_ != nullptr) mu_->ReaderLock();
+    }
+    ~ReadLock() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
+      if (mu_ != nullptr) mu_->ReaderUnlock();
+    }
+    ReadLock(const ReadLock&) = delete;
+    ReadLock& operator=(const ReadLock&) = delete;
+
+   private:
+    SharedMutex* mu_;
+  };
+  class SCOPED_CAPABILITY WriteLock {
+   public:
+    explicit WriteLock(const Database& db)
+        ACQUIRE(db.state_mu_) NO_THREAD_SAFETY_ANALYSIS
+        : mu_(db.options_.concurrency_guard ? db.state_mu_.get() : nullptr) {
+      if (mu_ != nullptr) mu_->Lock();
+    }
+    ~WriteLock() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
+      if (mu_ != nullptr) mu_->Unlock();
+    }
+    WriteLock(const WriteLock&) = delete;
+    WriteLock& operator=(const WriteLock&) = delete;
+
+   private:
+    SharedMutex* mu_;
+  };
+
   /// Interns every name occurring in a reference so later evaluation
   /// can resolve it (queries may mention names no fact ever used).
-  void InternNames(const Ref& t);
+  void InternNames(const Ref& t) REQUIRES(state_mu_);
+
+  /// True when every name in `t` is already interned — the query can
+  /// run without mutating the store's name tables.
+  bool NamesInterned(const Ref& t) const REQUIRES_SHARED(state_mu_);
+
+  /// True when nothing is pending for the WAL: the logged prefixes
+  /// cover the store and no program text or watermark move waits.
+  bool NothingPendingLocked() const REQUIRES_SHARED(state_mu_);
+
+  /// The read-only fast-path test: evaluating this reference (or every
+  /// literal of this query) under a shared lock would be pure — no
+  /// materialisation due, all names interned, nothing to commit.
+  bool ReadOnlyReadyLocked(const Ref& t) const REQUIRES_SHARED(state_mu_);
+  bool ReadOnlyReadyLocked(const struct Query& query) const
+      REQUIRES_SHARED(state_mu_);
+
+  /// The evaluation cores, shared by the read-only fast path (shared
+  /// lock) and the mutating slow path (exclusive lock). They only read
+  /// database state; sinks they touch are internally thread-safe.
+  Result<ResultSet> RunQueryLocked(const struct Query& query,
+                                   QueryLogRecord* rec,
+                                   std::chrono::steady_clock::time_point t0)
+      REQUIRES_SHARED(state_mu_);
+  Result<std::vector<Oid>> EvalLocked(const Ref& ref, QueryLogRecord* rec)
+      REQUIRES_SHARED(state_mu_);
+  Result<bool> HoldsLocked(const Ref& ref, QueryLogRecord* rec)
+      REQUIRES_SHARED(state_mu_);
+
+  /// Exclusive-lock bodies of the public mutators.
+  Status LoadProgramLocked(const Program& program) REQUIRES(state_mu_);
+  Status MaterializeLocked() REQUIRES(state_mu_);
+  Status FireTriggersLocked() REQUIRES(state_mu_);
+  Status CheckpointLocked() REQUIRES(state_mu_);
 
   /// The whole database as one byte string (outer "PLGDB002" framing:
   /// store snapshot + rules/trigger text + signature text + trigger
   /// watermark, checksummed).
-  Result<std::string> SaveSnapshotBytes() const;
+  Result<std::string> SaveSnapshotBytes() const REQUIRES_SHARED(state_mu_);
+  /// Builds a database from snapshot bytes. Single-threaded
+  /// construction — nobody else can hold the new database yet, so it
+  /// touches guarded fields lock-free.
   static Result<Database> LoadSnapshotBytes(const std::string& bytes,
                                             DatabaseOptions options,
-                                            const std::string& origin);
+                                            const std::string& origin)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   /// Appends everything not yet logged — new objects, installed
   /// program text, new facts, the trigger watermark — to the WAL and
@@ -275,36 +389,37 @@ class Database {
   /// error the WAL is considered broken and every subsequent commit
   /// fails with that error until Checkpoint() rebuilds the log —
   /// appending past a torn middle would silently lose the suffix.
-  Status CommitDurable();
+  Status CommitDurable() REQUIRES(state_mu_);
   /// One attempt at appending everything pending to the WAL (interns,
   /// program text, facts, watermark) plus the policy fsync. Counts
   /// records into `*records` but mutates no bookkeeping — retries
   /// re-run it from the same state.
   Status AppendPendingToWal(uint64_t universe, uint64_t gen,
-                            bool watermark_moved, uint64_t* records);
+                            bool watermark_moved, uint64_t* records)
+      REQUIRES(state_mu_);
   /// Drops whatever a failed append attempt left beyond the last
   /// known-good WAL length and reopens the appender there.
-  Status ReopenWalTruncated();
+  Status ReopenWalTruncated() REQUIRES(state_mu_);
   /// Latches `cause` (every further mutation fails fast), counts the
   /// entry, sets the degraded gauge, and returns the kUnavailable
   /// error the failing mutation reports.
-  Status EnterDegradedMode(Status cause);
+  Status EnterDegradedMode(Status cause) REQUIRES(state_mu_);
   /// The fail-fast error mutations get while degraded.
-  Status DegradedError() const;
+  Status DegradedError() const REQUIRES_SHARED(state_mu_);
   /// Sleeps `ms` (or calls the injected durability.backoff_sleep).
   void BackoffSleep(uint64_t ms);
   /// Wraps a mutating entry point: preserves `st`, commits the WAL.
-  Status FinishMutation(Status st);
+  Status FinishMutation(Status st) REQUIRES(state_mu_);
   /// Replaces the WAL with a fresh, empty, synced log (atomic).
-  Status ResetWal();
+  Status ResetWal() REQUIRES(state_mu_);
   /// Loads program text from a WAL record, skipping rules, triggers
   /// and signatures that are already installed (replay after a crash
   /// between checkpoint and WAL reset sees both copies).
-  Status ReplayProgramText(const std::string& text);
+  Status ReplayProgramText(const std::string& text) REQUIRES(state_mu_);
 
   /// Refreshes the pathlog_store_* gauges (universe size, fact count);
   /// no-op without a metrics sink.
-  void UpdateStoreGauges();
+  void UpdateStoreGauges() REQUIRES_SHARED(state_mu_);
 
   /// The query-log sink: engine.obs.query_log, else options.query_log.
   QueryLog* query_log_sink() const;
@@ -327,14 +442,29 @@ class Database {
   /// a method that is statically underivable stays empty no matter how
   /// many facts the rules derive, so hints computed before a
   /// materialisation remain valid after it.
-  void RefreshAnalysisHints();
+  void RefreshAnalysisHints() REQUIRES(state_mu_);
 
   std::string WalPath() const { return durable_dir_ + "/wal.plgwal"; }
   std::string SnapshotPath() const {
     return durable_dir_ + "/snapshot.plgdb";
   }
 
+  /// The snapshot guard: shared for provably read-only entry points,
+  /// exclusive for anything that may mutate. Behind a unique_ptr
+  /// because Database is movable and std::shared_mutex is not; the
+  /// pointer is set at construction and only reseated by move, which
+  /// is single-threaded by contract (a moved-from Database may only be
+  /// destroyed or assigned to).
+  std::unique_ptr<SharedMutex> state_mu_ = std::make_unique<SharedMutex>();
+
   DatabaseOptions options_;
+  // The core state below (store through planner_hints_) is guarded by
+  // state_mu_ in the same discipline as the annotated fields, but left
+  // unannotated because the public store()/rules()/signatures()/...
+  // accessors hand out references without the lock — that escape hatch
+  // is part of the documented contract (callers own quiescence there),
+  // and annotating the fields would force NO_THREAD_SAFETY_ANALYSIS
+  // onto every accessor, silencing more than it checks.
   ObjectStore store_;
   SignatureTable signatures_;
   std::vector<Rule> rules_;
@@ -348,28 +478,42 @@ class Database {
   /// Facts proved by RefreshAnalysisHints(); consulted by Materialize,
   /// RunQuery and ExplainQuery when options_.use_analysis_hints.
   PlannerHints planner_hints_;
-  bool dirty_ = false;
+  bool dirty_ GUARDED_BY(state_mu_) = false;
   uint64_t type_check_watermark_ = 0;
 
   // Durability state (all inert unless the database came from Open()).
+  // fops_ and durable_dir_ are set once in Open() before the database
+  // can be shared and never change after — safe to read lock-free.
   FileOps* fops_ = nullptr;
   std::string durable_dir_;
-  std::unique_ptr<WalAppender> wal_;
-  Status wal_error_;  ///< first WAL write failure; cleared by Checkpoint
-  uint64_t wal_objects_ = 0;  ///< universe prefix already logged
-  uint64_t wal_facts_ = 0;    ///< fact-log prefix already logged
-  uint64_t wal_trigger_watermark_ = 0;  ///< last logged watermark
-  uint64_t wal_records_ = 0;  ///< records since the last checkpoint
+  std::unique_ptr<WalAppender> wal_ GUARDED_BY(state_mu_);
+  /// First WAL write failure; cleared by Checkpoint. Source of truth
+  /// for degraded mode under the lock; degraded_ is its atomic mirror.
+  Status wal_error_ GUARDED_BY(state_mu_);
+  uint64_t wal_objects_ GUARDED_BY(state_mu_) = 0;  ///< universe logged
+  uint64_t wal_facts_ GUARDED_BY(state_mu_) = 0;  ///< fact prefix logged
+  uint64_t wal_trigger_watermark_ GUARDED_BY(state_mu_) = 0;
+  /// Records since the last checkpoint.
+  uint64_t wal_records_ GUARDED_BY(state_mu_) = 0;
   /// Known-good WAL length: the recovered valid prefix plus every
   /// fully committed batch since. Retries truncate back to this.
-  uint64_t wal_good_bytes_ = 0;
-  uint64_t wal_retries_ = 0;      ///< transient failures retried
-  uint64_t wal_rotations_ = 0;    ///< size-triggered rotations
-  uint64_t degraded_entries_ = 0; ///< times degraded mode was entered
-  uint64_t flight_dumps_ = 0;     ///< flight-recorder incident dumps
+  uint64_t wal_good_bytes_ GUARDED_BY(state_mu_) = 0;
+  uint64_t wal_retries_ GUARDED_BY(state_mu_) = 0;    ///< retried writes
+  uint64_t wal_rotations_ GUARDED_BY(state_mu_) = 0;  ///< rotations
+  uint64_t degraded_entries_ GUARDED_BY(state_mu_) = 0;
   /// Rules/triggers/signatures installed since the last commit,
   /// re-rendered as loadable text.
-  std::string pending_program_text_;
+  std::string pending_program_text_ GUARDED_BY(state_mu_);
+
+  // lock-free: atomic mirrors readable from any thread without the
+  // guard. degraded_ mirrors `fops_ && !wal_error_.ok()` (written
+  // under the exclusive lock by EnterDegradedMode/CheckpointLocked,
+  // read by degraded() — e.g. the stats server's health callback);
+  // flight_dumps_ counts incident dumps (bumped by
+  // MaybeDumpFlightRecorder, which budget-rejected queries reach
+  // outside the guard).
+  MovableAtomic<bool> degraded_{false};
+  MovableAtomic<uint64_t> flight_dumps_{0};
 };
 
 }  // namespace pathlog

@@ -110,6 +110,15 @@ class MetricsRegistry;
 class Tracer;
 
 /// Thin framing wrapper over an open WAL file.
+///
+/// Concurrency: deliberately unsynchronised. A WalAppender is owned by
+/// exactly one Database and every call — Append, Sync, set_obs,
+/// appended_bytes — happens under that Database's exclusive state lock
+/// (the std::shared_mutex snapshot guard in query/database.h), which
+/// both serialises the byte stream and publishes appended_bytes_ to
+/// the next writer. Do not share an appender outside that lock; WAL
+/// framing is a strict sequence, so an internal mutex here would only
+/// hide interleaving bugs the outer lock must prevent anyway.
 class WalAppender {
  public:
   explicit WalAppender(std::unique_ptr<FileOps::WritableFile> file)

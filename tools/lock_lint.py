@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Lock-discipline lint for PathLog headers.
+
+The clang thread-safety analysis (base/thread_annotations.h) only
+checks what is annotated — a mutex member nobody wrote GUARDED_BY
+against is invisible to it, and this container builds with GCC, where
+the annotations compile to nothing. This lint closes both gaps
+structurally: every synchronisation-relevant member declared in a
+header under src/ must carry its part of the contract.
+
+Rules, applied to member declarations in src/**/*.h:
+
+  1. A mutex-like member (std::mutex, std::shared_mutex,
+     std::condition_variable, pathlog::Mutex / SharedMutex, or a
+     unique_ptr of one) must have at least one sibling member in the
+     same class annotated GUARDED_BY(<that member>) — a lock nothing
+     is guarded by is either dead weight or an unannotated contract.
+  2. An atomic member (std::atomic<...> or MovableAtomic<...>) must be
+     covered by a `// lock-free:` contract comment somewhere in the
+     same class body — atomics are exactly the state that bypasses
+     locks, so the happens-before story must be written down.
+  3. Raw std::mutex / std::shared_mutex / std::condition_variable are
+     banned outright in src/ headers: use the annotated wrappers from
+     base/mutex.h so clang can follow the lock.
+
+Escape hatch: tools/lock_lint_allowlist.txt holds `file:member` lines
+for deliberate exceptions, each of which should carry a comment
+explaining why. Exit status 0 = clean, 1 = violations.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+ALLOWLIST_PATH = os.path.join(ROOT, "tools", "lock_lint_allowlist.txt")
+
+MUTEX_TYPES = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?:std::mutex|std::shared_mutex|std::condition_variable|"
+    r"(?:pathlog::)?Mutex|(?:pathlog::)?SharedMutex|"
+    r"std::unique_ptr<\s*(?:pathlog::)?(?:Shared)?Mutex\s*>)\s+"
+    r"(\w+)\s*(?:=[^;]*)?;"
+)
+RAW_MUTEX_TYPES = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(std::mutex|std::shared_mutex|std::condition_variable)\s+\w+"
+)
+ATOMIC_TYPES = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?:std::atomic<[^;]+?>|MovableAtomic<[^;]+?>)\s+"
+    r"(\w+)\s*(?:\{[^}]*\}|=[^;]*)?;"
+)
+LOCK_FREE_CONTRACT = re.compile(r"//\s*lock-free:")
+
+
+def load_allowlist():
+    allow = set()
+    if not os.path.exists(ALLOWLIST_PATH):
+        return allow
+    with open(ALLOWLIST_PATH, encoding="utf-8") as f:
+        for line in f:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                allow.add(line)
+    return allow
+
+
+def class_bodies(text):
+    """Yields (class_text) for each top-level class/struct body.
+
+    A lexical approximation: from each `class`/`struct` keyword to its
+    matching closing brace. Good enough for style-conforming headers.
+    """
+    for m in re.finditer(r"\b(?:class|struct)\b[^;{]*\{", text):
+        depth = 0
+        start = m.end() - 1
+        for i in range(start, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    yield text[m.start():i + 1]
+                    break
+
+
+def lint_file(path, relpath, allow):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    errors = []
+    for line_no, line in enumerate(text.splitlines(), 1):
+        raw = RAW_MUTEX_TYPES.match(line)
+        if raw and f"{relpath}:raw" not in allow:
+            errors.append(
+                f"{relpath}:{line_no}: raw {raw.group(1)} member; use the "
+                f"annotated wrappers in base/mutex.h (or allowlist "
+                f"'{relpath}:raw' with a reason)"
+            )
+    for body in class_bodies(text):
+        has_contract = bool(LOCK_FREE_CONTRACT.search(body))
+        for m in MUTEX_TYPES.finditer(body):
+            name = m.group(1)
+            key = f"{relpath}:{name}"
+            if key in allow:
+                continue
+            guarded = re.search(r"GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)",
+                                body)
+            if not guarded:
+                errors.append(
+                    f"{relpath}: mutex member '{name}' has no "
+                    f"GUARDED_BY({name}) peer in its class; annotate what it "
+                    f"protects (or allowlist '{key}' with a reason)"
+                )
+        for m in ATOMIC_TYPES.finditer(body):
+            name = m.group(1)
+            key = f"{relpath}:{name}"
+            if key in allow:
+                continue
+            if not has_contract:
+                errors.append(
+                    f"{relpath}: atomic member '{name}' in a class with no "
+                    f"'// lock-free:' contract comment; document the "
+                    f"happens-before story (or allowlist '{key}')"
+                )
+    return errors
+
+
+def main():
+    allow = load_allowlist()
+    errors = []
+    for dirpath, _, filenames in os.walk(SRC):
+        for fn in sorted(filenames):
+            if not fn.endswith(".h"):
+                continue
+            path = os.path.join(dirpath, fn)
+            relpath = os.path.relpath(path, ROOT)
+            errors.extend(lint_file(path, relpath, allow))
+    if errors:
+        print(f"lock_lint: {len(errors)} violation(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print("lock_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
